@@ -1,0 +1,51 @@
+"""Ablation — Rules 7/8 (summary-filter pushdown), no paper figure.
+
+DESIGN.md §4 calls out early filter pushdown as a design choice worth
+ablating: a structural ``FILTER SUMMARIES`` predicate above a join can be
+pushed to both inputs (Rule 8), dropping unneeded summary objects before
+they flow through — and pay merge costs inside — the join.
+"""
+
+import pytest
+
+from repro.bench import FigureTable, cached_database
+
+# A high-fanout self-join on family: every output pair merges both
+# tuples' summary sets, so dropping the (heavy) TextSummary1 objects
+# before the join — Rule 8 — saves real merge work per output row.
+QUERY = (
+    "Select r.common_name, s.common_name From birds r, birds s "
+    "Where r.family = s.family "
+    "FILTER SUMMARIES getSummaryName() = 'ClassBird1'"
+)
+
+
+@pytest.mark.benchmark(group="ablation-filter-rules")
+@pytest.mark.parametrize("mode", ["Rules-Disabled", "Rules-Enabled"])
+@pytest.mark.parametrize("density", [10, 50, 200])
+def test_filter_pushdown(
+    benchmark, case, mode, density, preset, figure_writer
+):
+    if density not in preset.densities:
+        pytest.skip(f"density {density} not in preset {preset.name}")
+    db = cached_database(
+        num_birds=preset.num_birds, annotations_per_tuple=density,
+        indexes="both", cell_fraction=0.0,
+    )
+    db.options.enable_rules = mode == "Rules-Enabled"
+    try:
+        m = case(db, lambda: db.sql(QUERY))
+    finally:
+        db.options.enable_rules = True
+
+    table = figure_writer.setdefault(
+        "ablation_filter_rules",
+        FigureTable(
+            "Ablation — structural filter pushdown (Rules 7/8)", unit="ms"
+        ),
+    )
+    table.add_measurement(mode, preset.label(density), m)
+    active = [d for d in (10, 50, 200) if d in preset.densities]
+    if len(table.cells) == 2 * len(active):
+        table.note_ratio("Rules-Disabled", "Rules-Enabled",
+                         "early filter pushdown wins")

@@ -1,0 +1,65 @@
+"""Figure 10 — Select-Project query with a classifier equality predicate.
+
+Paper: at 1% selectivity (``Disease = constant``), both indexes beat the
+NoIndex table scan by ≈two orders of magnitude, and the Summary-BTree is
+≈3× faster than the Baseline index because the latter crosses more
+levels of indirection (derived index → normalized row → OID index → R).
+"""
+
+import pytest
+
+from repro.bench import FigureTable, cached_database
+from repro.bench.queries import equality_constant, sp_equality_query
+
+SCHEMES = {
+    "NoIndex": "none",
+    "Baseline Index": "baseline",
+    "Summary-BTree": "summary_btree",
+}
+
+
+@pytest.mark.benchmark(group="fig10-sp-query")
+@pytest.mark.parametrize("scheme", list(SCHEMES))
+@pytest.mark.parametrize("density", [10, 25, 50, 100, 200])
+def test_sp_query(benchmark, case, scheme, density, preset, figure_writer):
+    if density not in preset.densities:
+        pytest.skip(f"density {density} not in preset {preset.name}")
+    db = cached_database(
+        num_birds=preset.num_birds, annotations_per_tuple=density,
+        indexes="both", cell_fraction=0.0,
+    )
+    constant = equality_constant(db, "Disease", 0.01)
+    query = sp_equality_query("Disease", constant)
+    db.options.index_scheme = SCHEMES[scheme]
+    db.options.force_access = None if scheme == "NoIndex" else "index"
+    try:
+        m = case(db, lambda: db.sql(query))
+    finally:
+        db.options.index_scheme = "summary_btree"
+        db.options.force_access = None
+
+    table = figure_writer.setdefault(
+        "fig10_sp_query",
+        FigureTable(
+            "Figure 10 — SP query, Disease = c at 1% selectivity",
+            unit="ms (log-scale in the paper)",
+        ),
+    )
+    table.add_measurement(scheme, preset.label(density), m)
+    pages = figure_writer.setdefault(
+        "fig10_sp_query_pages",
+        FigureTable(
+            "Figure 10 (companion) — logical page accesses",
+            unit="pages",
+        ),
+    )
+    pages.add(scheme, preset.label(density), m.pages)
+    if len(table.cells) == len(SCHEMES) * len(preset.densities):
+        table.note_ratio("Baseline Index", "Summary-BTree", "about 3x")
+        table.note_ratio(
+            "NoIndex", "Summary-BTree", "about two orders of magnitude"
+        )
+        pages.note_ratio("Baseline Index", "Summary-BTree", "about 3x")
+        pages.note_ratio(
+            "NoIndex", "Summary-BTree", "about two orders of magnitude"
+        )

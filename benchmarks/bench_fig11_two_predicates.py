@@ -1,0 +1,62 @@
+"""Figure 11 — SP query with two conjunctive summary predicates.
+
+Paper: a range predicate on ``Anatomy`` plus a ``containsUnion`` keyword
+search over TextSummary1.  With no index the engine table-scans and
+applies a summary-based selection; with an index it resolves the range
+predicate first and applies the keyword predicate on top.  The
+Summary-BTree ends up ≈2× faster than the Baseline index.
+"""
+
+import pytest
+
+from repro.bench import FigureTable, cached_database
+from repro.bench.queries import range_bounds, two_predicate_query
+
+SCHEMES = {
+    "NoIndex": "none",
+    "Baseline Index": "baseline",
+    "Summary-BTree": "summary_btree",
+}
+KEYWORDS = ("experiment", "wikipedia")
+
+
+@pytest.mark.benchmark(group="fig11-two-predicates")
+@pytest.mark.parametrize("scheme", list(SCHEMES))
+@pytest.mark.parametrize("density", [10, 25, 50, 100, 200])
+def test_two_predicate_query(
+    benchmark, case, scheme, density, preset, figure_writer
+):
+    if density not in preset.densities:
+        pytest.skip(f"density {density} not in preset {preset.name}")
+    db = cached_database(
+        num_birds=preset.num_birds, annotations_per_tuple=density,
+        indexes="both", cell_fraction=0.0,
+    )
+    lo, hi = range_bounds(db, "Anatomy", 0.05)
+    query = two_predicate_query(lo, hi, *KEYWORDS)
+    db.options.index_scheme = SCHEMES[scheme]
+    db.options.force_access = None if scheme == "NoIndex" else "index"
+    try:
+        m = case(db, lambda: db.sql(query))
+    finally:
+        db.options.index_scheme = "summary_btree"
+        db.options.force_access = None
+
+    table = figure_writer.setdefault(
+        "fig11_two_predicates",
+        FigureTable(
+            "Figure 11 — range on Anatomy + containsUnion keyword search",
+            unit="ms",
+        ),
+    )
+    table.add_measurement(scheme, preset.label(density), m)
+    pages = figure_writer.setdefault(
+        "fig11_two_predicates_pages",
+        FigureTable(
+            "Figure 11 (companion) — logical page accesses", unit="pages"
+        ),
+    )
+    pages.add(scheme, preset.label(density), m.pages)
+    if len(table.cells) == len(SCHEMES) * len(preset.densities):
+        table.note_ratio("Baseline Index", "Summary-BTree", "about 2x")
+        pages.note_ratio("Baseline Index", "Summary-BTree", "about 2x")

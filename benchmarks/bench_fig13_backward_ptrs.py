@@ -1,0 +1,79 @@
+"""Figure 13 — effectiveness of the backward pointers.
+
+Paper: the Summary-BTree's leaf entries point straight at the annotated
+data tuples (backward pointers) instead of at the indexed summary rows.
+With summary propagation required the two pointer styles tie (the
+R ↔ SummaryStorage join is 1-1), but when propagation is NOT required
+the backward pointers skip the SummaryStorage join entirely — up to 4×
+faster.
+"""
+
+import pytest
+
+from repro.bench import FigureTable, cached_database
+from repro.bench.queries import equality_constant, sp_equality_query
+
+CASES = {
+    # (backward pointers?, propagate summaries?)
+    "Backward-Propagation": (True, True),
+    "Backward-NoPropagation": (True, False),
+    "Conventional-Propagation": (False, True),
+    "Conventional-NoPropagation": (False, False),
+}
+
+
+@pytest.mark.benchmark(group="fig13-backward-ptrs")
+@pytest.mark.parametrize("label", list(CASES))
+@pytest.mark.parametrize("density", [10, 50, 200])
+def test_backward_pointers(
+    benchmark, case, label, density, preset, figure_writer
+):
+    if density not in preset.densities:
+        pytest.skip(f"density {density} not in preset {preset.name}")
+    backward, propagate = CASES[label]
+    db = cached_database(
+        num_birds=preset.num_birds, annotations_per_tuple=density,
+        indexes="summary_btree", backward_pointers=backward,
+        cell_fraction=0.0,
+    )
+    constant = equality_constant(db, "Disease", 0.01)
+    query = sp_equality_query("Disease", constant)
+    db.options.propagate = propagate
+    db.options.force_access = "index"
+    try:
+        m = case(db, lambda: db.sql(query))
+    finally:
+        db.options.propagate = True
+        db.options.force_access = None
+
+    table = figure_writer.setdefault(
+        "fig13_backward_ptrs",
+        FigureTable(
+            "Figure 13 — backward vs. conventional leaf pointers", unit="ms"
+        ),
+    )
+    table.add_measurement(label, preset.label(density), m)
+    pages = figure_writer.setdefault(
+        "fig13_backward_ptrs_pages",
+        FigureTable(
+            "Figure 13 (companion) — logical page accesses", unit="pages"
+        ),
+    )
+    pages.add(label, preset.label(density), m.pages)
+    active = [d for d in (10, 50, 200) if d in preset.densities]
+    if len(table.cells) == len(CASES) * len(active):
+        pages.note_ratio(
+            "Conventional-NoPropagation", "Backward-NoPropagation",
+            "up to 4x",
+        )
+        table.note_ratio(
+            "Conventional-NoPropagation", "Backward-NoPropagation",
+            "up to 4x",
+        )
+        tie = table.mean_ratio(
+            "Conventional-Propagation", "Backward-Propagation"
+        )
+        table.note(
+            f"with propagation the pointer styles are within {tie:.2f}x"
+            "  [paper: almost the same cost]"
+        )

@@ -1,0 +1,80 @@
+"""Multi-level summarization: querying and drilling down a label hierarchy.
+
+The paper's future-work extension (§8) realized: a classifier instance
+whose labels form a tree.  Queries reference any level — an inner node's
+value is its subtree's leaf sum — and zoom-in walks the hierarchy one
+level at a time down to the raw annotations.
+
+Run with::
+
+    python examples/hierarchy_drilldown.py
+"""
+
+from repro import Column, Database, ValueType
+
+db = Database()
+db.create_table("birds", [Column("name", ValueType.TEXT)])
+
+# A two-level hierarchy over the field-note categories.
+db.create_hierarchical_classifier_instance(
+    "BirdTopics",
+    {
+        "Health": {"Disease": {}, "Injury": {}},
+        "Ecology": {"Behavior": {}, "Habitat": {}},
+        "Other": {},
+    },
+    seed_examples=[
+        ("flu virus infection outbreak epidemic sick", "Disease"),
+        ("broken wing wound bleeding fracture limping", "Injury"),
+        ("foraging nesting singing courtship display", "Behavior"),
+        ("wetland lake coastal reed marsh shoreline", "Habitat"),
+        ("survey checklist volunteer photo record", "Other"),
+    ],
+)
+db.manager.link("birds", "BirdTopics")
+
+FIELD_NOTES = {
+    "Swan Goose": [
+        "flu outbreak suspected, several sick individuals seen",
+        "one adult limping with a wing wound, possibly a fracture",
+        "nesting activity in the reed marsh near the east shoreline",
+    ],
+    "Mute Swan": [
+        "courtship display observed at dawn, pair singing",
+        "foraging in the shallow wetland all morning",
+    ],
+    "House Crow": [
+        "virus infection confirmed by the lab, epidemic risk",
+        "volunteer uploaded a photo to the checklist",
+    ],
+}
+for name, notes in FIELD_NOTES.items():
+    oid = db.insert("birds", {"name": name})
+    for note in notes:
+        db.add_annotation(note, table="birds", oid=oid)
+
+# -- query the TOP level: which birds have health-related reports? ----------
+TOPIC = "$.getSummaryObject('BirdTopics')"
+result = db.sql(
+    f"Select name From birds r Where r.{TOPIC}.getLabelValue('Health') > 0 "
+    f"Order By r.{TOPIC}.getLabelValue('Health') Desc"
+)
+print("Birds with health-related reports (inner-node roll-up):")
+for t in result.tuples:
+    print(f"  {t.get('name')}")
+
+# -- roll-up views at each level --------------------------------------------
+instance = db.manager.instance("BirdTopics")
+swan = db.sql("Select name From birds Where name = 'Swan Goose'")
+table, oid = next(iter(swan.tuples[0].provenance.values()))
+obj = db.manager.summary_set_for(table, oid).get_summary_object("BirdTopics")
+print("\nSwan Goose at hierarchy level 0:", instance.rollup(obj, level=0))
+print("Swan Goose at hierarchy level 1:", instance.rollup(obj, level=1))
+
+# -- drill down level by level ----------------------------------------------
+print("\nZooming into Swan Goose's 'Health' reports (subtree union):")
+for text in db.zoom_in(table, oid, "BirdTopics", "Health"):
+    print(f"  - {text}")
+print("...and just the 'Injury' leaf:")
+for text in db.zoom_in(table, oid, "BirdTopics", "Injury"):
+    print(f"  - {text}")

@@ -1,0 +1,44 @@
+"""repro — a from-scratch reproduction of *Elevating Annotation Summaries To
+First-Class Citizens In InsightNotes* (EDBT 2015).
+
+Quickstart::
+
+    from repro import Database, Column, ValueType
+
+    db = Database()
+    db.create_table("birds", [Column("name", ValueType.TEXT)])
+    db.create_classifier_instance("ClassBird1",
+                                  ["Disease", "Anatomy", "Other"],
+                                  seed_examples=[...])
+    db.sql("Alter Table birds Add Indexable ClassBird1")
+    oid = db.insert("birds", {"name": "Swan Goose"})
+    db.add_annotation("observed avian flu symptoms", table="birds", oid=oid)
+    result = db.sql(
+        "Select * From birds r Where "
+        "r.$.getSummaryObject('ClassBird1').getLabelValue('Disease') > 0"
+    )
+"""
+
+from repro.annotations.annotation import Annotation, AnnotationTarget
+from repro.catalog.schema import Column, Schema
+from repro.core.database import Database
+from repro.optimizer.planner import PlannerOptions
+from repro.query.result import ResultSet
+from repro.summaries.hierarchy import HierarchicalClassifierInstance, LabelTree
+from repro.storage.record import ValueType
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Database",
+    "PlannerOptions",
+    "Column",
+    "Schema",
+    "ValueType",
+    "Annotation",
+    "AnnotationTarget",
+    "ResultSet",
+    "LabelTree",
+    "HierarchicalClassifierInstance",
+    "__version__",
+]

@@ -1,0 +1,12 @@
+"""Raw annotation model and storage.
+
+Annotations are free-text notes attached to data: a single cell, a whole
+row, a column slice of a row, or arbitrary sets/combinations of cells —
+possibly spanning tuples of different tables (which is what makes the
+double-count-avoiding merge of §2.2 necessary).
+"""
+
+from repro.annotations.annotation import Annotation, AnnotationTarget
+from repro.annotations.store import AnnotationStore
+
+__all__ = ["Annotation", "AnnotationTarget", "AnnotationStore"]

@@ -1,0 +1,101 @@
+"""Persistent raw-annotation store.
+
+Annotations live in a system heap table (``_annotations``) with a B-Tree on
+the annotation id so zoom-in queries can fetch raw texts directly from the
+Elements[][] references carried by summary objects.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterator
+
+from repro.annotations.annotation import Annotation, AnnotationTarget
+from repro.catalog.schema import Column, Schema
+from repro.catalog.table import Table
+from repro.errors import RecordNotFoundError
+from repro.storage.buffer import BufferPool
+from repro.storage.record import ValueType
+
+_SCHEMA = Schema(
+    [
+        Column("ann_id", ValueType.INT, nullable=False),
+        Column("text", ValueType.TEXT, nullable=False),
+        Column("targets", ValueType.TEXT, nullable=False),  # JSON
+    ]
+)
+
+
+def _encode_targets(targets: list[AnnotationTarget]) -> str:
+    return json.dumps(
+        [[t.table, t.oid, list(t.columns)] for t in targets],
+        separators=(",", ":"),
+    )
+
+
+def _decode_targets(raw: str) -> list[AnnotationTarget]:
+    return [
+        AnnotationTarget(table, oid, tuple(columns))
+        for table, oid, columns in json.loads(raw)
+    ]
+
+
+class AnnotationStore:
+    """CRUD over raw annotations, indexed by annotation id."""
+
+    def __init__(self, pool: BufferPool):
+        self._table = Table("_annotations", _SCHEMA, pool)
+        self._table.create_index("ann_id")
+        self._next_id = 1
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def create(self, text: str, targets: list[AnnotationTarget]) -> Annotation:
+        """Persist a new annotation; assigns and returns its id."""
+        annotation = Annotation(self._next_id, text, list(targets))
+        self._next_id += 1
+        self._table.insert(
+            {
+                "ann_id": annotation.ann_id,
+                "text": text,
+                "targets": _encode_targets(annotation.targets),
+            }
+        )
+        return annotation
+
+    def get(self, ann_id: int) -> Annotation:
+        """Fetch one annotation by id."""
+        oids = self._table.index_lookup("ann_id", ann_id)
+        if not oids:
+            raise RecordNotFoundError(f"no annotation with id {ann_id}")
+        row = self._table.read_dict(oids[0])
+        return Annotation(row["ann_id"], row["text"], _decode_targets(row["targets"]))
+
+    def get_many(self, ann_ids: list[int]) -> list[Annotation]:
+        """Fetch annotations in the order of ``ann_ids``."""
+        return [self.get(a) for a in ann_ids]
+
+    def texts(self, ann_ids: list[int]) -> list[str]:
+        """Raw texts for ``ann_ids`` (zoom-in's workhorse)."""
+        return [self.get(a).text for a in ann_ids]
+
+    def delete(self, ann_id: int) -> Annotation:
+        """Remove an annotation; returns what was removed."""
+        oids = self._table.index_lookup("ann_id", ann_id)
+        if not oids:
+            raise RecordNotFoundError(f"no annotation with id {ann_id}")
+        annotation = self.get(ann_id)
+        self._table.delete(oids[0])
+        return annotation
+
+    def scan(self) -> Iterator[Annotation]:
+        for _, values in self._table.scan():
+            row = _SCHEMA.dict_from_row(values)
+            yield Annotation(
+                row["ann_id"], row["text"], _decode_targets(row["targets"])
+            )
+
+    @property
+    def heap_pages(self) -> int:
+        return self._table.heap.num_pages

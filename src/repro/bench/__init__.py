@@ -1,0 +1,35 @@
+"""Benchmark harness shared by every ``benchmarks/bench_*.py`` file.
+
+See DESIGN.md §3 for the experiment index mapping each bench to the paper
+figure it regenerates.
+"""
+
+from repro.bench.harness import (
+    FigureTable,
+    Measurement,
+    cached_database,
+    clear_cache,
+    fresh_database,
+    measure,
+)
+from repro.bench.presets import (
+    FULL_SWEEP,
+    PAPER_LABELS,
+    PRESETS,
+    ScalePreset,
+    active_preset,
+)
+
+__all__ = [
+    "FigureTable",
+    "Measurement",
+    "ScalePreset",
+    "PRESETS",
+    "PAPER_LABELS",
+    "FULL_SWEEP",
+    "active_preset",
+    "cached_database",
+    "fresh_database",
+    "clear_cache",
+    "measure",
+]

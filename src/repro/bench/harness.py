@@ -1,0 +1,177 @@
+"""Shared benchmark plumbing: measurement, database caching, and the
+figure-style result tables every bench prints.
+
+Each bench file regenerates one table/figure of the paper.  The harness
+keeps that uniform:
+
+* :func:`measure` runs a callable and captures wall time **and** the page
+  I/O delta — counted I/Os make the paper's relative factors robust to
+  interpreter noise (see DESIGN.md §5),
+* :func:`cached_database` memoizes fully built workload databases per
+  configuration so a sweep shared by several benches builds once, and
+* :class:`FigureTable` accumulates (series, x-label, measurement) cells
+  and renders the same rows/series the paper reports, including the
+  ratio lines ("Summary-BTree is N× faster …") the figures call out.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.core.database import Database
+from repro.storage.disk import IOStats
+from repro.workload.generator import WorkloadConfig, build_database
+
+_DB_CACHE: dict[tuple, Database] = {}
+
+
+def cached_database(**config_kwargs) -> Database:
+    """A fully built workload database, memoized on the config values.
+
+    Benches share sweeps (same densities, same index schemes); building a
+    dense database costs tens of seconds, so one build serves all benches
+    in a session.  Callers must not mutate cached databases — benches that
+    insert/delete build private copies via :func:`fresh_database`.
+    """
+    key = tuple(sorted(config_kwargs.items()))
+    if key not in _DB_CACHE:
+        _DB_CACHE[key] = build_database(WorkloadConfig(**config_kwargs))
+    return _DB_CACHE[key]
+
+
+def fresh_database(**config_kwargs) -> Database:
+    """An uncached build for benches that mutate the database."""
+    return build_database(WorkloadConfig(**config_kwargs))
+
+
+def clear_cache() -> None:
+    _DB_CACHE.clear()
+
+
+@dataclass
+class Measurement:
+    """One measured cell: wall seconds, disk I/O counts, and logical page
+    accesses (buffer-pool requests — the interpreter-noise-free metric the
+    relative factors are judged on, see DESIGN.md §5)."""
+
+    seconds: float
+    io: IOStats
+    rows: int = 0
+    pages: int = 0
+
+    @property
+    def millis(self) -> float:
+        return self.seconds * 1e3
+
+    def __str__(self) -> str:
+        return (
+            f"{self.millis:9.2f} ms  "
+            f"(pages={self.pages}, reads={self.io.reads}, "
+            f"writes={self.io.writes})"
+        )
+
+
+def measure(db: Database, fn, repeat: int = 1) -> Measurement:
+    """Run ``fn`` ``repeat`` times; report the best wall time and the I/O
+    of one run (I/O is deterministic, time is noisy — best-of-N)."""
+    best = float("inf")
+    io = None
+    rows = 0
+    pages = 0
+    for _ in range(repeat):
+        before = db.disk.stats.snapshot()
+        pages_before = db.pool.hits + db.pool.misses
+        started = time.perf_counter()
+        out = fn()
+        elapsed = time.perf_counter() - started
+        if elapsed < best:
+            best = elapsed
+            io = db.disk.stats.delta(before)
+            pages = db.pool.hits + db.pool.misses - pages_before
+            try:
+                rows = len(out)
+            except TypeError:
+                rows = 0
+    return Measurement(best, io, rows, pages)
+
+
+@dataclass
+class FigureTable:
+    """The printed reproduction of one paper figure.
+
+    Cells are keyed (series name, x label); :meth:`render` prints an
+    x-by-series table plus any ratio annotations registered with
+    :meth:`note_ratio`.
+    """
+
+    title: str
+    unit: str = "ms"
+    cells: dict[tuple[str, str], float] = field(default_factory=dict)
+    x_order: list[str] = field(default_factory=list)
+    series_order: list[str] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add(self, series: str, x: str, value: float) -> None:
+        if x not in self.x_order:
+            self.x_order.append(x)
+        if series not in self.series_order:
+            self.series_order.append(series)
+        self.cells[(series, x)] = value
+
+    def add_measurement(self, series: str, x: str, m: Measurement,
+                        metric: str = "millis") -> None:
+        self.add(series, x, getattr(m, metric))
+
+    def value(self, series: str, x: str) -> float:
+        return self.cells[(series, x)]
+
+    def series(self, name: str) -> list[float]:
+        return [self.cells[(name, x)] for x in self.x_order
+                if (name, x) in self.cells]
+
+    def ratio(self, numerator: str, denominator: str, x: str) -> float:
+        """cells[numerator, x] / cells[denominator, x]."""
+        denom = self.cells[(denominator, x)]
+        return self.cells[(numerator, x)] / max(denom, 1e-12)
+
+    def mean_ratio(self, numerator: str, denominator: str) -> float:
+        ratios = [
+            self.ratio(numerator, denominator, x)
+            for x in self.x_order
+            if (numerator, x) in self.cells and (denominator, x) in self.cells
+        ]
+        return sum(ratios) / len(ratios)
+
+    def note_ratio(self, slower: str, faster: str, claim: str = "") -> float:
+        """Record (and return) the mean slower/faster ratio as a note —
+        the "N× speedup" annotations the paper's figures call out."""
+        factor = self.mean_ratio(slower, faster)
+        suffix = f"  [paper: {claim}]" if claim else ""
+        self.notes.append(
+            f"{faster} is {factor:.1f}x faster than {slower}{suffix}"
+        )
+        return factor
+
+    def note(self, text: str) -> None:
+        self.notes.append(text)
+
+    def render(self) -> str:
+        width = max(
+            [len(s) for s in self.series_order] + [12]
+        )
+        col = max([len(x) for x in self.x_order] + [10]) + 2
+        lines = [f"== {self.title} ({self.unit}) =="]
+        header = " " * width + "".join(f"{x:>{col}}" for x in self.x_order)
+        lines.append(header)
+        for s in self.series_order:
+            row = f"{s:<{width}}"
+            for x in self.x_order:
+                v = self.cells.get((s, x))
+                row += f"{'-':>{col}}" if v is None else f"{v:>{col}.2f}"
+            lines.append(row)
+        lines += [f"  * {n}" for n in self.notes]
+        return "\n".join(lines)
+
+    def show(self) -> None:
+        print("\n" + self.render())

@@ -1,0 +1,57 @@
+"""Benchmark scale presets.
+
+The paper's evaluation sweeps the total annotation count from 450K to 9M
+over a fixed 45,000-tuple Birds table — i.e. 10 to 200 annotations per
+tuple (§6).  The benches sweep the same per-tuple densities over a
+laptop-sized table and label each point with the paper's corresponding
+total ("450K" … "9M") so the printed series read like the figures.
+
+``REPRO_BENCH_SCALE`` selects a preset:
+
+* ``quick`` — 3 densities, 60 tuples (CI smoke runs),
+* ``default`` — the full 5-density sweep, 120 tuples,
+* ``full`` — 5 densities, 300 tuples (closest shape to the paper).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+#: paper x-axis label for each annotations-per-tuple density.
+PAPER_LABELS = {10: "450K", 25: "1.125M", 50: "2.25M", 100: "4.5M", 200: "9M"}
+
+#: the paper's full density sweep.
+FULL_SWEEP = (10, 25, 50, 100, 200)
+
+
+@dataclass(frozen=True)
+class ScalePreset:
+    """One benchmark scale: table size + density sweep."""
+
+    name: str
+    num_birds: int
+    densities: tuple[int, ...]
+    #: density used by single-point (non-sweep) experiments.
+    spot_density: int = 50
+
+    def label(self, density: int) -> str:
+        """The paper's x-axis label ("450K" … "9M") for one density."""
+        return PAPER_LABELS.get(density, f"{density}/tuple")
+
+
+PRESETS = {
+    "quick": ScalePreset("quick", num_birds=60, densities=(10, 50, 200)),
+    "default": ScalePreset("default", num_birds=120, densities=FULL_SWEEP),
+    "full": ScalePreset("full", num_birds=300, densities=FULL_SWEEP),
+}
+
+
+def active_preset() -> ScalePreset:
+    """Preset selected by ``REPRO_BENCH_SCALE`` (default: ``default``)."""
+    name = os.environ.get("REPRO_BENCH_SCALE", "default").lower()
+    if name not in PRESETS:
+        raise ValueError(
+            f"REPRO_BENCH_SCALE={name!r}; expected one of {sorted(PRESETS)}"
+        )
+    return PRESETS[name]

@@ -1,0 +1,11 @@
+"""Page-based B-Tree index.
+
+The tree stores ``(key, value)`` byte-string entries ordered by the composite
+``(key, value)`` pair, so duplicate keys are supported while deletes remain
+deterministic. Nodes occupy one disk page each and travel through the buffer
+pool, so index traversals are charged page I/Os like any other access path.
+"""
+
+from repro.btree.tree import BTree
+
+__all__ = ["BTree"]

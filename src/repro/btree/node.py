@@ -1,0 +1,153 @@
+"""B-Tree node serialization.
+
+Two node kinds share a page format discriminated by a leading byte:
+
+Leaf::
+
+    [ 0x01 | num:u16 | next_leaf:i32 | (klen:u16, key, vlen:u16, value)* ]
+
+Internal::
+
+    [ 0x00 | num:u16 | child0:u32 | (klen:u16, key, vlen:u16, value,
+                                     child:u32)* ]
+
+Internal separators are full ``(key, value)`` composites: entries strictly
+less than separator *i* live under child *i*; entries greater than or equal
+live to its right. This routes duplicate keys deterministically.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+from repro.errors import StorageError
+
+_U16 = struct.Struct("<H")
+_U32 = struct.Struct("<I")
+_I32 = struct.Struct("<i")
+
+LEAF_TAG = 1
+INTERNAL_TAG = 0
+
+#: Composite entry: (key bytes, value bytes). Ordered lexicographically as a
+#: pair.
+Entry = tuple[bytes, bytes]
+
+
+def entry_size(entry: Entry) -> int:
+    """Serialized size of one (key, value) pair in a leaf."""
+    return 4 + len(entry[0]) + len(entry[1])
+
+
+def separator_size(entry: Entry) -> int:
+    """Serialized size of one separator + child pointer in an internal node."""
+    return entry_size(entry) + 4
+
+
+@dataclass
+class LeafNode:
+    """A leaf holds sorted entries plus a pointer to the next leaf."""
+
+    entries: list[Entry] = field(default_factory=list)
+    next_leaf: int = -1  # page id of right sibling, -1 for none
+
+    def serialized_size(self) -> int:
+        return 1 + 2 + 4 + sum(entry_size(e) for e in self.entries)
+
+    def to_bytes(self, page_size: int) -> bytearray:
+        data = bytearray(page_size)
+        data[0] = LEAF_TAG
+        _U16.pack_into(data, 1, len(self.entries))
+        _I32.pack_into(data, 3, self.next_leaf)
+        pos = 7
+        for key, value in self.entries:
+            _U16.pack_into(data, pos, len(key))
+            pos += 2
+            data[pos:pos + len(key)] = key
+            pos += len(key)
+            _U16.pack_into(data, pos, len(value))
+            pos += 2
+            data[pos:pos + len(value)] = value
+            pos += len(value)
+        return data
+
+    @classmethod
+    def from_bytes(cls, data: bytes | bytearray) -> "LeafNode":
+        (num,) = _U16.unpack_from(data, 1)
+        (next_leaf,) = _I32.unpack_from(data, 3)
+        entries: list[Entry] = []
+        pos = 7
+        for _ in range(num):
+            (klen,) = _U16.unpack_from(data, pos)
+            pos += 2
+            key = bytes(data[pos:pos + klen])
+            pos += klen
+            (vlen,) = _U16.unpack_from(data, pos)
+            pos += 2
+            value = bytes(data[pos:pos + vlen])
+            pos += vlen
+            entries.append((key, value))
+        return cls(entries, next_leaf)
+
+
+@dataclass
+class InternalNode:
+    """An internal node: ``children[i]`` < ``separators[i]`` <= ``children[i+1]``."""
+
+    separators: list[Entry] = field(default_factory=list)
+    children: list[int] = field(default_factory=list)  # page ids
+
+    def serialized_size(self) -> int:
+        return 1 + 2 + 4 + sum(separator_size(s) for s in self.separators)
+
+    def to_bytes(self, page_size: int) -> bytearray:
+        if len(self.children) != len(self.separators) + 1:
+            raise StorageError("internal node child/separator mismatch")
+        data = bytearray(page_size)
+        data[0] = INTERNAL_TAG
+        _U16.pack_into(data, 1, len(self.separators))
+        _U32.pack_into(data, 3, self.children[0])
+        pos = 7
+        for sep, child in zip(self.separators, self.children[1:]):
+            key, value = sep
+            _U16.pack_into(data, pos, len(key))
+            pos += 2
+            data[pos:pos + len(key)] = key
+            pos += len(key)
+            _U16.pack_into(data, pos, len(value))
+            pos += 2
+            data[pos:pos + len(value)] = value
+            pos += len(value)
+            _U32.pack_into(data, pos, child)
+            pos += 4
+        return data
+
+    @classmethod
+    def from_bytes(cls, data: bytes | bytearray) -> "InternalNode":
+        (num,) = _U16.unpack_from(data, 1)
+        (child0,) = _U32.unpack_from(data, 3)
+        separators: list[Entry] = []
+        children = [child0]
+        pos = 7
+        for _ in range(num):
+            (klen,) = _U16.unpack_from(data, pos)
+            pos += 2
+            key = bytes(data[pos:pos + klen])
+            pos += klen
+            (vlen,) = _U16.unpack_from(data, pos)
+            pos += 2
+            value = bytes(data[pos:pos + vlen])
+            pos += vlen
+            (child,) = _U32.unpack_from(data, pos)
+            pos += 4
+            separators.append((key, value))
+            children.append(child)
+        return cls(separators, children)
+
+
+def parse_node(data: bytes | bytearray) -> LeafNode | InternalNode:
+    """Parse a node page into the right node class."""
+    if data[0] == LEAF_TAG:
+        return LeafNode.from_bytes(data)
+    return InternalNode.from_bytes(data)

@@ -1,0 +1,16 @@
+"""Catalog: schemas, tables, key encodings, and the system catalog."""
+
+from repro.catalog.schema import Column, Schema
+from repro.catalog.keys import encode_key, encode_int, decode_int
+from repro.catalog.table import Table
+from repro.catalog.catalog import Catalog
+
+__all__ = [
+    "Column",
+    "Schema",
+    "encode_key",
+    "encode_int",
+    "decode_int",
+    "Table",
+    "Catalog",
+]

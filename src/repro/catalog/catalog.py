@@ -1,0 +1,43 @@
+"""System catalog: the registry of user tables and their metadata."""
+
+from __future__ import annotations
+
+from repro.catalog.schema import Schema
+from repro.catalog.table import Table
+from repro.errors import CatalogError
+from repro.storage.buffer import BufferPool
+
+
+class Catalog:
+    """Registry of tables sharing one buffer pool."""
+
+    def __init__(self, pool: BufferPool):
+        self.pool = pool
+        self._tables: dict[str, Table] = {}
+
+    def create_table(self, name: str, schema: Schema) -> Table:
+        key = name.lower()
+        if key in self._tables:
+            raise CatalogError(f"table {name!r} already exists")
+        table = Table(name, schema, self.pool)
+        self._tables[key] = table
+        return table
+
+    def drop_table(self, name: str) -> None:
+        key = name.lower()
+        if key not in self._tables:
+            raise CatalogError(f"no table named {name!r}")
+        table = self._tables.pop(key)
+        table.heap.drop()
+
+    def table(self, name: str) -> Table:
+        key = name.lower()
+        if key not in self._tables:
+            raise CatalogError(f"no table named {name!r}")
+        return self._tables[key]
+
+    def has_table(self, name: str) -> bool:
+        return name.lower() in self._tables
+
+    def table_names(self) -> list[str]:
+        return [t.name for t in self._tables.values()]

@@ -1,0 +1,174 @@
+"""Tables: heap storage + OID index + secondary B-Tree indexes.
+
+Every inserted row receives a monotonically increasing OID (the system
+column the paper shows as ``OID`` in Figure 4). A unique B-Tree on the OID
+column maps OIDs to heap RIDs — this is the structure behind the engine's
+``disk_tuple_loc()`` used by the Summary-BTree's backward referencing.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterator
+
+from repro.btree import BTree
+from repro.catalog.keys import decode_int, encode_int, encode_key
+from repro.catalog.schema import Schema
+from repro.errors import CatalogError, RecordNotFoundError
+from repro.storage.buffer import BufferPool
+from repro.storage.heapfile import HeapFile, RID
+
+_RID_CODEC = struct.Struct("<IH")
+
+
+def pack_rid(rid: RID) -> bytes:
+    return _RID_CODEC.pack(rid.page_no, rid.slot)
+
+
+def unpack_rid(data: bytes) -> RID:
+    page_no, slot = _RID_CODEC.unpack(data)
+    return RID(page_no, slot)
+
+
+class Table:
+    """A user relation: schema, heap file, OID index, secondary indexes."""
+
+    def __init__(self, name: str, schema: Schema, pool: BufferPool):
+        self.name = name
+        self.schema = schema
+        self.pool = pool
+        self.heap = HeapFile(pool)
+        self._codec = schema.codec()
+        self._next_oid = 1
+        #: Unique B-Tree on the OID system column: oid -> heap RID.
+        self.oid_index = BTree(pool, unique=True)
+        #: Secondary indexes on data columns: column name -> B-Tree whose
+        #: entries are (encoded column value, encoded oid).
+        self.secondary_indexes: dict[str, BTree] = {}
+
+    def __len__(self) -> int:
+        return len(self.heap)
+
+    @property
+    def row_count(self) -> int:
+        return len(self.heap)
+
+    # -- DML -------------------------------------------------------------------
+
+    def insert(self, row: dict[str, object] | list[object]) -> int:
+        """Insert a row (mapping or positional); returns its OID."""
+        values = self.schema.row_from_dict(row) if isinstance(row, dict) else list(row)
+        self.schema.validate_row(values)
+        oid = self._next_oid
+        self._next_oid += 1
+        rid = self.heap.insert(self._codec.encode(values))
+        self.oid_index.insert(encode_int(oid), pack_rid(rid))
+        for col_name, index in self.secondary_indexes.items():
+            value = values[self.schema.index_of(col_name)]
+            key = encode_key(value, self.schema.column(col_name).type)
+            index.insert(key, encode_int(oid))
+        return oid
+
+    def disk_tuple_loc(self, oid: int) -> RID:
+        """Heap location of the tuple with ``oid`` (paper's diskTupleLoc())."""
+        hits = self.oid_index.search(encode_int(oid))
+        if not hits:
+            raise RecordNotFoundError(f"{self.name}: no tuple with OID {oid}")
+        return unpack_rid(hits[0])
+
+    def read(self, oid: int) -> list[object]:
+        """Positional row values for ``oid``."""
+        return self._codec.decode(self.heap.read(self.disk_tuple_loc(oid)))
+
+    def read_dict(self, oid: int) -> dict[str, object]:
+        return self.schema.dict_from_row(self.read(oid))
+
+    def read_at(self, rid: RID) -> list[object]:
+        """Positional row values at a known heap location (no OID lookup)."""
+        return self._codec.decode(self.heap.read(rid))
+
+    def update(self, oid: int, row: dict[str, object]) -> None:
+        """Update the named columns of tuple ``oid``."""
+        old_values = self.read(oid)
+        values = list(old_values)
+        for name, value in row.items():
+            values[self.schema.index_of(name)] = value
+        self.schema.validate_row(values)
+        old_rid = self.disk_tuple_loc(oid)
+        new_rid = self.heap.update(old_rid, self._codec.encode(values))
+        if new_rid != old_rid:
+            self.oid_index.delete(encode_int(oid), pack_rid(old_rid))
+            self.oid_index.insert(encode_int(oid), pack_rid(new_rid))
+        for col_name, index in self.secondary_indexes.items():
+            i = self.schema.index_of(col_name)
+            if values[i] != old_values[i]:
+                ctype = self.schema.column(col_name).type
+                index.delete(encode_key(old_values[i], ctype), encode_int(oid))
+                index.insert(encode_key(values[i], ctype), encode_int(oid))
+
+    def delete(self, oid: int) -> None:
+        """Delete tuple ``oid`` and all its index entries."""
+        values = self.read(oid)
+        rid = self.disk_tuple_loc(oid)
+        self.heap.delete(rid)
+        self.oid_index.delete(encode_int(oid), pack_rid(rid))
+        for col_name, index in self.secondary_indexes.items():
+            value = values[self.schema.index_of(col_name)]
+            key = encode_key(value, self.schema.column(col_name).type)
+            index.delete(key, encode_int(oid))
+
+    def scan(self) -> Iterator[tuple[int, list[object]]]:
+        """Yield ``(oid, values)`` for every live tuple, heap order.
+
+        OIDs are recovered by scanning the OID index once into a reverse map;
+        heap order is preserved for realistic sequential-scan behaviour.
+        """
+        rid_to_oid = {
+            unpack_rid(v): decode_int(k)
+            for k, v in self.oid_index.items()
+        }
+        for rid, record in self.heap.scan():
+            yield rid_to_oid[rid], self._codec.decode(record)
+
+    # -- secondary indexes -------------------------------------------------------
+
+    def create_index(self, column: str) -> BTree:
+        """Build a standard B-Tree index on a data column."""
+        if column in self.secondary_indexes:
+            raise CatalogError(f"index on {self.name}.{column} already exists")
+        ctype = self.schema.column(column).type
+        index = BTree(self.pool)
+        col_pos = self.schema.index_of(column)
+        for oid, values in self.scan():
+            index.insert(encode_key(values[col_pos], ctype), encode_int(oid))
+        self.secondary_indexes[column] = index
+        return index
+
+    def has_index(self, column: str) -> bool:
+        return column in self.secondary_indexes
+
+    def index_lookup(self, column: str, value: object) -> list[int]:
+        """OIDs of tuples where ``column == value`` via the secondary index."""
+        index = self.secondary_indexes.get(column)
+        if index is None:
+            raise CatalogError(f"no index on {self.name}.{column}")
+        key = encode_key(value, self.schema.column(column).type)
+        return [decode_int(v) for v in index.search(key)]
+
+    def index_range(
+        self,
+        column: str,
+        lo: object | None,
+        hi: object | None,
+        lo_inclusive: bool = True,
+        hi_inclusive: bool = True,
+    ) -> Iterator[int]:
+        """OIDs with ``lo <= column <= hi``, in column order."""
+        index = self.secondary_indexes.get(column)
+        if index is None:
+            raise CatalogError(f"no index on {self.name}.{column}")
+        ctype = self.schema.column(column).type
+        lo_key = None if lo is None else encode_key(lo, ctype)
+        hi_key = None if hi is None else encode_key(hi, ctype)
+        for _, v in index.range_scan(lo_key, hi_key, lo_inclusive, hi_inclusive):
+            yield decode_int(v)

@@ -1,0 +1,167 @@
+"""Interactive SQL shell: ``python -m repro``.
+
+A small REPL over one in-process :class:`~repro.core.database.Database`,
+aimed at exploring the engine:
+
+* plain SQL statements run and print result tables,
+* ``EXPLAIN <select>`` shows the logical + physical plans,
+* ``\\demo`` loads the seeded Birds workload (handy first command),
+* ``\\stats <table>``, ``\\instances``, ``\\tables`` inspect the catalog,
+* ``\\set <option> <value>`` flips any :class:`PlannerOptions` knob
+  (e.g. ``\\set enable_rules false``), and
+* ``\\quit`` exits.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.core.database import Database
+from repro.errors import ReproError
+from repro.query.result import ResultSet
+
+PROMPT = "insightnotes> "
+
+_HELP = """\
+Commands:
+  <SQL statement>          run it (SELECT / INSERT / UPDATE / DELETE /
+                           CREATE TABLE / ALTER TABLE ... / ZOOM IN ...)
+  EXPLAIN <select>         show the chosen logical and physical plans
+  \\demo [birds] [apt]      load the seeded Birds workload
+                           (default 50 tuples x 20 annotations)
+  \\tables                  list user tables
+  \\instances               list summary instances and their links
+  \\stats <table>           show optimizer statistics for a table
+  \\set <option> <value>    set a PlannerOptions field
+  \\help                    this text
+  \\quit                    exit\
+"""
+
+
+def _parse_option_value(raw: str) -> object:
+    lowered = raw.lower()
+    if lowered in ("true", "on"):
+        return True
+    if lowered in ("false", "off"):
+        return False
+    if lowered in ("none", "null"):
+        return None
+    try:
+        return int(raw)
+    except ValueError:
+        return raw
+
+
+def execute_line(db: Database, line: str) -> str:
+    """One REPL interaction; returns the text to print (exposed separately
+    from the input loop so it is unit-testable)."""
+    line = line.strip()
+    if not line:
+        return ""
+    if line.startswith("\\"):
+        return _execute_command(db, line[1:])
+    if line.upper().startswith("EXPLAIN "):
+        return str(db.explain(line[len("EXPLAIN "):]))
+    result = db.sql(line)
+    if isinstance(result, ResultSet):
+        stats = result.stats
+        timing = (
+            f"\n({len(result)} rows, {stats['elapsed_s'] * 1e3:.1f} ms, "
+            f"{stats['io_reads']} reads)"
+            if stats else f"\n({len(result)} rows)"
+        )
+        return result.to_table() + timing
+    if isinstance(result, list):  # ZOOM IN output
+        return "\n".join(f"- {text}" for text in result) or "(no annotations)"
+    if isinstance(result, int):  # DELETE / UPDATE row counts
+        return f"{result} rows affected"
+    return "ok"
+
+
+def _execute_command(db: Database, command: str) -> str:
+    parts = command.split()
+    name, args = parts[0].lower(), parts[1:]
+    if name in ("q", "quit", "exit"):
+        raise EOFError
+    if name == "help":
+        return _HELP
+    if name == "demo":
+        from repro.workload.generator import WorkloadConfig, build_database
+
+        num_birds = int(args[0]) if args else 50
+        apt = int(args[1]) if len(args) > 1 else 20
+        demo = build_database(WorkloadConfig(
+            num_birds=num_birds, annotations_per_tuple=apt,
+            cell_fraction=0.0,
+        ))
+        # Adopt the demo database's state wholesale.
+        db.__dict__.update(demo.__dict__)
+        return (
+            f"loaded Birds workload: {num_birds} birds x {apt} annotations, "
+            "instances ClassBird1 (indexed) + TextSummary1"
+        )
+    if name == "tables":
+        names = db.catalog.table_names()
+        return "\n".join(names) or "(no tables)"
+    if name == "instances":
+        lines = []
+        for inst_name, instance in sorted(db.manager._instances.items()):
+            tables = db.manager.tables_with_instance(inst_name)
+            kind = type(instance).__name__.replace("Instance", "")
+            linked = ", ".join(tables) or "unlinked"
+            lines.append(f"{inst_name} ({kind}) -> {linked}")
+        return "\n".join(lines) or "(no instances)"
+    if name == "stats":
+        if not args:
+            return "usage: \\stats <table>"
+        stats = db.statistics.table_stats(args[0])
+        lines = [
+            f"rows={stats.row_count} heap_pages={stats.heap_pages} "
+            f"summary_pages={stats.summary_pages}"
+        ]
+        for inst_name, inst in sorted(stats.instances.items()):
+            lines.append(
+                f"  {inst_name}: avg_object_size={inst.avg_object_size:.0f}"
+            )
+            for label, ls in sorted(inst.labels.items()):
+                lines.append(
+                    f"    {label}: min={ls.min} max={ls.max} "
+                    f"ndistinct={ls.ndistinct}"
+                )
+        return "\n".join(lines)
+    if name == "set":
+        if len(args) != 2:
+            return "usage: \\set <option> <value>"
+        option, raw = args
+        if not hasattr(db.options, option):
+            valid = ", ".join(sorted(vars(db.options)))
+            return f"unknown option {option!r}; one of: {valid}"
+        setattr(db.options, option, _parse_option_value(raw))
+        return f"{option} = {getattr(db.options, option)!r}"
+    return f"unknown command \\{parts[0]} (try \\help)"
+
+
+def main(argv: list[str] | None = None) -> int:
+    """REPL entry point."""
+    print("InsightNotes+ shell — \\help for commands, \\demo to load data")
+    db = Database()
+    while True:
+        try:
+            line = input(PROMPT)
+        except (EOFError, KeyboardInterrupt):
+            print()
+            return 0
+        try:
+            output = execute_line(db, line)
+        except EOFError:
+            return 0
+        except ReproError as exc:
+            output = f"error: {exc}"
+        except Exception as exc:  # surface, keep the session alive
+            output = f"unexpected {type(exc).__name__}: {exc}"
+        if output:
+            print(output)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,5 @@
+"""Public entry point: the :class:`Database` facade."""
+
+from repro.core.database import Database
+
+__all__ = ["Database"]

@@ -1,0 +1,472 @@
+"""The InsightNotes+ engine facade.
+
+One :class:`Database` object owns the whole stack — simulated disk, buffer
+pool, catalog, annotation store, summary manager, indexes, statistics, and
+the summary-aware planner — and exposes the end-user surface:
+
+* DDL / DML (programmatic and via :meth:`sql`),
+* the extended ``ALTER TABLE … ADD [INDEXABLE] <instance>`` command (§4),
+* annotation CRUD with incremental summary maintenance,
+* summary-aware SELECTs mixing standard and summary-based operators,
+* zoom-in from summaries back to raw annotations, and
+* EXPLAIN plus the ablation knobs the benchmarks flip.
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.annotations.annotation import AnnotationTarget
+from repro.catalog.catalog import Catalog
+from repro.catalog.schema import Column, Schema
+from repro.errors import CatalogError, QueryError, SummaryError
+from repro.index.baseline import BaselineClassifierIndex
+from repro.index.keyword import TrigramKeywordIndex
+from repro.index.replica import NormalizedSnippetReplica
+from repro.index.summary_btree import SummaryBTreeIndex
+from repro.optimizer.planner import Planner, PlannerOptions
+from repro.optimizer.statistics import StatisticsCatalog
+from repro.query.ast import (
+    AlterTableSummary,
+    CreateTableStmt,
+    DeleteStmt,
+    InsertStmt,
+    SelectItem,
+    SelectStmt,
+    Star,
+    TableRef,
+    UpdateStmt,
+    ZoomIn,
+)
+from repro.query.parser import parse_sql
+from repro.query.result import ResultSet
+from repro.storage.buffer import BufferPool
+from repro.storage.disk import DiskManager, IOStats
+from repro.storage.record import ValueType
+from repro.summaries.maintenance import SummaryManager
+
+_TYPE_KEYWORDS = {
+    "int": ValueType.INT,
+    "float": ValueType.FLOAT,
+    "text": ValueType.TEXT,
+    "bool": ValueType.BOOL,
+}
+
+
+@dataclass
+class QueryReport:
+    """EXPLAIN output: chosen logical plan + physical plan + cost."""
+
+    logical: str
+    physical: str
+    estimated_cost: float
+
+    def __str__(self) -> str:
+        return (
+            f"Estimated cost: {self.estimated_cost:.2f}\n"
+            f"-- logical --\n{self.logical}\n"
+            f"-- physical --\n{self.physical}"
+        )
+
+
+class Database:
+    """A complete in-process InsightNotes+ engine."""
+
+    def __init__(
+        self,
+        buffer_pages: int = 4096,
+        options: PlannerOptions | None = None,
+    ):
+        self.disk = DiskManager()
+        self.pool = BufferPool(self.disk, capacity=buffer_pages)
+        self.catalog = Catalog(self.pool)
+        self.manager = SummaryManager(self.pool)
+        self.statistics = StatisticsCatalog(self.catalog, self.manager)
+        self.summary_indexes: dict[tuple[str, str], SummaryBTreeIndex] = {}
+        self.baseline_indexes: dict[tuple[str, str], BaselineClassifierIndex] = {}
+        self.normalized_replicas: dict[tuple[str, str], NormalizedSnippetReplica] = {}
+        self.keyword_indexes: dict[tuple[str, str], TrigramKeywordIndex] = {}
+        self.options = options or PlannerOptions()
+
+    # -- planner --------------------------------------------------------------------
+
+    @property
+    def planner(self) -> Planner:
+        return Planner(
+            self.catalog,
+            self.manager,
+            self.statistics,
+            self.summary_indexes,
+            self.baseline_indexes,
+            self.options,
+            self.normalized_replicas,
+            self.keyword_indexes,
+        )
+
+    # -- DDL ------------------------------------------------------------------------
+
+    def create_table(self, name: str, columns: list[Column] | Schema):
+        """Create a user relation."""
+        schema = columns if isinstance(columns, Schema) else Schema(list(columns))
+        return self.catalog.create_table(name, schema)
+
+    def create_index(self, table: str, column: str) -> None:
+        """Standard B-Tree on a data column."""
+        self.catalog.table(table).create_index(column)
+
+    # -- summary instances -------------------------------------------------------------
+
+    def create_classifier_instance(
+        self, name: str, labels: list[str],
+        seed_examples: list[tuple[str, str]] | None = None,
+    ):
+        return self.manager.create_classifier_instance(name, labels, seed_examples)
+
+    def create_hierarchical_classifier_instance(
+        self, name: str, tree_spec: dict,
+        seed_examples: list[tuple[str, str]] | None = None,
+    ):
+        """Multi-level classifier (§8 future work): nested-dict hierarchy,
+        leaves are classified classes, inner nodes roll up in queries —
+        e.g. ``getLabelValue('Health')`` sums its subtree's leaf counts."""
+        return self.manager.create_hierarchical_classifier_instance(
+            name, tree_spec, seed_examples
+        )
+
+    def create_snippet_instance(self, name: str, min_chars: int = 1000,
+                                max_chars: int = 400):
+        return self.manager.create_snippet_instance(name, min_chars, max_chars)
+
+    def create_cluster_instance(self, name: str, **kwargs):
+        return self.manager.create_cluster_instance(name, **kwargs)
+
+    def link_summary_instance(
+        self, table: str, instance: str, indexable: bool = False
+    ) -> None:
+        """``ALTER TABLE <table> ADD [INDEXABLE] <instance>`` (§4)."""
+        if not self.catalog.has_table(table):
+            raise CatalogError(f"no table named {table!r}")
+        self.manager.link(table, instance)
+        self.manager.add_observer(
+            table, instance, self.statistics.observer_for(table)
+        )
+        if indexable:
+            self.create_summary_index(table, instance)
+
+    def unlink_summary_instance(self, table: str, instance: str) -> None:
+        """``ALTER TABLE <table> DROP <instance>``."""
+        self.manager.unlink(table, instance)
+        self.summary_indexes.pop((table.lower(), instance), None)
+        self.baseline_indexes.pop((table.lower(), instance), None)
+
+    def create_summary_index(
+        self, table: str, instance: str, backward_pointers: bool = True
+    ) -> SummaryBTreeIndex:
+        """Build a Summary-BTree over an already-linked classifier instance."""
+        key = (table.lower(), instance)
+        if key in self.summary_indexes:
+            raise SummaryError(f"summary index on {key} already exists")
+        index = SummaryBTreeIndex(
+            self.catalog.table(table),
+            self.manager.storage_for(table),
+            instance,
+            backward_pointers=backward_pointers,
+        )
+        index.bulk_build()
+        self.manager.add_observer(table, instance, index)
+        self.summary_indexes[key] = index
+        return index
+
+    def create_baseline_index(
+        self, table: str, instance: str
+    ) -> BaselineClassifierIndex:
+        """Build the Figure 4(c) baseline index (normalized replica)."""
+        key = (table.lower(), instance)
+        if key in self.baseline_indexes:
+            raise SummaryError(f"baseline index on {key} already exists")
+        labels = getattr(self.manager.instance(instance), "labels", None)
+        index = BaselineClassifierIndex(
+            self.catalog.table(table), instance, self.pool,
+            label_order=list(labels) if labels else None,
+        )
+        index.bulk_build(self.manager.storage_for(table))
+        self.manager.add_observer(table, instance, index)
+        self.baseline_indexes[key] = index
+        return index
+
+    def create_keyword_index(self, table: str, instance: str
+                             ) -> TrigramKeywordIndex:
+        """Build a trigram keyword index over a snippet instance's text.
+
+        Serves ``containsSingle``/``containsUnion`` predicates in
+        snippet-only search mode (``options.search_raw = False``) — the
+        §3.1 snippets-vs-raw trade-off's fast side."""
+        key = (table.lower(), instance)
+        if key in self.keyword_indexes:
+            raise SummaryError(f"keyword index on {key} already exists")
+        index = TrigramKeywordIndex(table, instance, self.pool)
+        index.bulk_build(self.manager.storage_for(table))
+        self.manager.add_observer(table, "*", index)
+        self.keyword_indexes[key] = index
+        return index
+
+    def create_normalized_replicas(self, table: str) -> list:
+        """Normalize the non-classifier summary objects of ``table`` —
+        the rest of the Baseline scheme's replica, needed so normalized
+        propagation (Figure 12) can form *complete* summary sets from
+        primitives."""
+        from repro.summaries.instances import SnippetInstance
+
+        built = []
+        for instance in self.manager.instances_for(table):
+            key = (table.lower(), instance.name)
+            if key in self.normalized_replicas:
+                continue
+            if isinstance(instance, SnippetInstance):
+                replica = NormalizedSnippetReplica(
+                    table, instance.name, self.pool
+                )
+                replica.bulk_build(self.manager.storage_for(table))
+                self.manager.add_observer(table, "*", replica)
+                self.normalized_replicas[key] = replica
+                built.append(replica)
+        return built
+
+    def drop_summary_index(self, table: str, instance: str) -> None:
+        index = self.summary_indexes.pop((table.lower(), instance), None)
+        if index is not None:
+            self.manager.remove_observer(table, instance, index)
+
+    def register_udf(self, name: str, fn) -> None:
+        """Register a black-box summary-set UDF usable in queries (§3.2):
+        ``db.register_udf("heavy", lambda s: s.get_size() > 2)`` then
+        ``... Where heavy(r.$)``."""
+        self.manager.register_udf(name, fn)
+
+    # -- DML --------------------------------------------------------------------------------
+
+    def insert(self, table: str, row: dict | list) -> int:
+        return self.catalog.table(table).insert(row)
+
+    def delete_tuple(self, table: str, oid: int) -> None:
+        self.manager.on_tuple_delete(table, oid)
+        self.catalog.table(table).delete(oid)
+
+    # -- annotations ---------------------------------------------------------------------------
+
+    def add_annotation(
+        self,
+        text: str,
+        targets: list[AnnotationTarget] | None = None,
+        *,
+        table: str | None = None,
+        oid: int | None = None,
+        columns: tuple[str, ...] = (),
+    ):
+        """Attach a raw annotation.
+
+        Either pass explicit ``targets`` (cells/rows across tables) or the
+        ``table=/oid=/columns=`` shorthand for a single attachment.
+        """
+        if targets is None:
+            if table is None or oid is None:
+                raise SummaryError("add_annotation needs targets or table+oid")
+            targets = [AnnotationTarget(table, oid, tuple(columns))]
+        return self.manager.add_annotation(text, targets)
+
+    def delete_annotation(self, ann_id: int) -> None:
+        self.manager.delete_annotation(ann_id)
+
+    def zoom_in(self, table: str, oid: int, instance: str,
+                selector: str | int | None = None) -> list[str]:
+        """Zoom-in: raw annotation texts behind a summary object."""
+        return self.manager.zoom_in(table, oid, instance, selector)
+
+    # -- persistence ---------------------------------------------------------------------------
+
+    _IMAGE_MAGIC = b"INSIGHTNOTES-IMAGE"
+    _IMAGE_VERSION = 1
+
+    def save(self, path: str | Path) -> None:
+        """Write the whole database — pages, catalog, summary instances,
+        indexes, statistics — as a single-file image.
+
+        Registered UDFs are *not* persisted (arbitrary callables don't
+        serialize portably); re-register them after :meth:`load`.
+        """
+        self.pool.flush_all()
+        udfs = self.manager.udfs
+        self.manager.udfs = {}
+        try:
+            payload = pickle.dumps(self)
+        finally:
+            self.manager.udfs = udfs
+        header = (
+            self._IMAGE_MAGIC
+            + self._IMAGE_VERSION.to_bytes(2, "big")
+        )
+        Path(path).write_bytes(header + payload)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Database":
+        """Restore a database image written by :meth:`save`."""
+        data = Path(path).read_bytes()
+        if not data.startswith(cls._IMAGE_MAGIC):
+            raise QueryError(f"{path!s} is not an InsightNotes image")
+        offset = len(cls._IMAGE_MAGIC)
+        version = int.from_bytes(data[offset:offset + 2], "big")
+        if version != cls._IMAGE_VERSION:
+            raise QueryError(
+                f"image version {version} unsupported "
+                f"(engine writes v{cls._IMAGE_VERSION})"
+            )
+        db = pickle.loads(data[offset + 2:])
+        if not isinstance(db, cls):
+            raise QueryError(f"{path!s} does not contain a Database")
+        return db
+
+    # -- statistics -------------------------------------------------------------------------------
+
+    def analyze(self, table: str) -> None:
+        """Collect optimizer statistics (Figure 6) for one table."""
+        self.statistics.analyze(table)
+
+    def io_snapshot(self) -> IOStats:
+        return self.disk.stats.snapshot()
+
+    def io_since(self, before: IOStats) -> IOStats:
+        return self.disk.stats.delta(before)
+
+    # -- queries ------------------------------------------------------------------------------------
+
+    def sql(self, query: str):
+        """Execute one SQL statement.
+
+        SELECT returns a :class:`ResultSet`; ZOOM IN returns raw texts; DDL
+        and INSERT return None.
+        """
+        stmt = parse_sql(query)
+        if isinstance(stmt, SelectStmt):
+            return self._execute_select(stmt)
+        if isinstance(stmt, AlterTableSummary):
+            if stmt.action == "add":
+                self.link_summary_instance(stmt.table, stmt.instance,
+                                           stmt.indexable)
+            else:
+                self.unlink_summary_instance(stmt.table, stmt.instance)
+            return None
+        if isinstance(stmt, ZoomIn):
+            return self.zoom_in(stmt.table, stmt.oid, stmt.instance, stmt.selector)
+        if isinstance(stmt, CreateTableStmt):
+            self.create_table(
+                stmt.name,
+                [Column(c, _TYPE_KEYWORDS[t]) for c, t in stmt.columns],
+            )
+            return None
+        if isinstance(stmt, InsertStmt):
+            table = self.catalog.table(stmt.table)
+            for row in stmt.rows:
+                if stmt.columns is not None:
+                    table.insert(dict(zip(stmt.columns, row)))
+                else:
+                    table.insert(row)
+            return None
+        if isinstance(stmt, DeleteStmt):
+            return self._execute_delete(stmt)
+        if isinstance(stmt, UpdateStmt):
+            return self._execute_update(stmt)
+        raise QueryError(f"unsupported statement {stmt!r}")
+
+    def _matching_oids(self, table: str, alias: str | None,
+                       where) -> list[int]:
+        """OIDs satisfying a DML statement's WHERE — planned like a
+        SELECT, so data AND summary predicates (first-class summaries
+        extend to DML) both work and may use indexes."""
+        alias = alias or table
+        select = SelectStmt(
+            items=[Star(None)],
+            tables=[TableRef(table, alias)],
+            where=where,
+        )
+        physical, _logical, _cost = self.planner.plan(select)
+        return [
+            t.provenance[alias][1] for t in physical.rows()
+        ]
+
+    def _execute_delete(self, stmt: DeleteStmt) -> int:
+        """Returns the number of deleted tuples."""
+        oids = self._matching_oids(stmt.table, stmt.alias, stmt.where)
+        for oid in oids:
+            self.delete_tuple(stmt.table, oid)
+        return len(oids)
+
+    def _execute_update(self, stmt: UpdateStmt) -> int:
+        """Returns the number of updated tuples.  Assignment expressions
+        evaluate per row (columns and summary expressions allowed)."""
+        from repro.query.eval import EvalContext, evaluate
+
+        alias = stmt.alias or stmt.table
+        select = SelectStmt(
+            items=[Star(None)],
+            tables=[TableRef(stmt.table, alias)],
+            where=stmt.where,
+        )
+        physical, _logical, _cost = self.planner.plan(select)
+        table = self.catalog.table(stmt.table)
+        ctx = EvalContext(manager=self.manager, udfs=self.manager.udfs)
+        updates: list[tuple[int, dict]] = []
+        for row in physical.rows():
+            oid = row.provenance[alias][1]
+            assigned = {
+                column: evaluate(expr, row, ctx)
+                for column, expr in stmt.assignments
+            }
+            updates.append((oid, assigned))
+        for oid, assigned in updates:
+            table.update(oid, assigned)
+        if updates:
+            self.statistics.mark_stale(stmt.table)
+        return len(updates)
+
+    def explain(self, query: str) -> QueryReport:
+        """Plan (without executing) and report logical + physical plans."""
+        stmt = parse_sql(query)
+        if not isinstance(stmt, SelectStmt):
+            raise QueryError("EXPLAIN supports SELECT statements only")
+        physical, logical, cost = self.planner.plan(stmt)
+        return QueryReport(logical.pretty(), physical.explain(), cost)
+
+    def _execute_select(self, stmt: SelectStmt) -> ResultSet:
+        physical, logical, cost = self.planner.plan(stmt)
+        io_before = self.disk.stats.snapshot()
+        started = time.perf_counter()
+        tuples = list(physical.rows())
+        elapsed = time.perf_counter() - started
+        io = self.disk.stats.delta(io_before)
+        columns = (
+            tuples[0].columns if tuples else self._expected_columns(stmt)
+        )
+        return ResultSet(
+            columns,
+            tuples,
+            stats={
+                "elapsed_s": elapsed,
+                "io_reads": io.reads,
+                "io_writes": io.writes,
+                "estimated_cost": cost,
+                "plan": physical.explain(),
+            },
+        )
+
+    @staticmethod
+    def _expected_columns(stmt: SelectStmt) -> list[str]:
+        out = []
+        for item in stmt.items:
+            if isinstance(item, Star):
+                out.append(f"{item.alias}.*" if item.alias else "*")
+            elif isinstance(item, SelectItem):
+                out.append(item.alias or str(item.expr))
+        return out

@@ -1,0 +1,71 @@
+"""Exception hierarchy for the repro engine.
+
+Every error raised by the engine derives from :class:`ReproError`, so
+applications can catch a single base class. Sub-classes mirror the major
+subsystems (storage, catalog, query, index, summaries).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro engine."""
+
+
+class StorageError(ReproError):
+    """Raised for page/heap/buffer-pool level failures."""
+
+
+class PageFullError(StorageError):
+    """Raised when a record does not fit into the target page."""
+
+
+class RecordNotFoundError(StorageError):
+    """Raised when a RID or OID does not resolve to a live record."""
+
+
+class BufferPoolError(StorageError):
+    """Raised when the buffer pool cannot satisfy a pin request."""
+
+
+class IndexError_(ReproError):
+    """Raised for B-Tree / Summary-BTree failures.
+
+    Named with a trailing underscore to avoid shadowing the builtin.
+    """
+
+
+class DuplicateKeyError(IndexError_):
+    """Raised when inserting an entry that already exists in a unique index."""
+
+
+class CatalogError(ReproError):
+    """Raised for schema / catalog inconsistencies."""
+
+
+class SchemaError(CatalogError):
+    """Raised when a row does not match its table schema."""
+
+
+class SummaryError(ReproError):
+    """Raised for summary-object / summary-instance failures."""
+
+
+class UnknownInstanceError(SummaryError):
+    """Raised when a summary instance name does not resolve."""
+
+
+class QueryError(ReproError):
+    """Raised for SQL parse / bind / execution failures."""
+
+
+class ParseError(QueryError):
+    """Raised by the lexer/parser on malformed SQL."""
+
+
+class BindError(QueryError):
+    """Raised when names in a query do not resolve against the catalog."""
+
+
+class PlanError(QueryError):
+    """Raised when the optimizer cannot produce a physical plan."""

@@ -1,0 +1,27 @@
+"""Mining and summarization substrates.
+
+InsightNotes integrates three families of summarization techniques (paper
+§2.1 / §6): Naive Bayes classification [10], CluStream incremental
+clustering [2], and LSA text summarization [18]. This package implements all
+three from scratch, each with the incremental insert/remove hooks the
+summary-maintenance layer needs.
+"""
+
+from repro.mining.text import (
+    hashed_tf_vector,
+    sentences,
+    tokenize,
+)
+from repro.mining.naive_bayes import NaiveBayesClassifier
+from repro.mining.clustream import CluStream, MicroCluster
+from repro.mining.lsa import LsaSummarizer
+
+__all__ = [
+    "tokenize",
+    "sentences",
+    "hashed_tf_vector",
+    "NaiveBayesClassifier",
+    "CluStream",
+    "MicroCluster",
+    "LsaSummarizer",
+]

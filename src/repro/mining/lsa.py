@@ -1,0 +1,80 @@
+"""LSA (Latent Semantic Analysis) snippet summarization (paper ref [18]).
+
+Used by Snippet summary instances: every annotation longer than a threshold
+is condensed into a short extractive snippet. Sentences are embedded in a
+term-sentence TF-IDF matrix; the SVD's leading right-singular vectors score
+each sentence's alignment with the document's dominant latent topics, and the
+top-scoring sentences (in original order) form the snippet.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+
+import numpy as np
+
+from repro.mining.text import sentences, tokenize
+
+DEFAULT_MAX_CHARS = 400
+DEFAULT_TOPICS = 2
+
+
+class LsaSummarizer:
+    """Extractive summarizer producing snippets of at most ``max_chars``."""
+
+    def __init__(self, max_chars: int = DEFAULT_MAX_CHARS, topics: int = DEFAULT_TOPICS):
+        self.max_chars = max_chars
+        self.topics = topics
+
+    def summarize(self, text: str) -> str:
+        """Return a snippet of ``text`` no longer than ``max_chars``."""
+        if len(text) <= self.max_chars:
+            return text
+        sents = sentences(text)
+        if len(sents) <= 1:
+            return text[: self.max_chars]
+        scores = self._sentence_scores(sents)
+        ranked = sorted(range(len(sents)), key=lambda i: -scores[i])
+        chosen: list[int] = []
+        used = 0
+        for i in ranked:
+            cost = len(sents[i]) + (1 if chosen else 0)
+            if used + cost <= self.max_chars:
+                chosen.append(i)
+                used += cost
+        if not chosen:
+            # Even the best sentence is too long: truncate it.
+            return sents[ranked[0]][: self.max_chars]
+        chosen.sort()  # restore original order for readability
+        return " ".join(sents[i] for i in chosen)
+
+    def _sentence_scores(self, sents: list[str]) -> np.ndarray:
+        """Latent-topic salience score per sentence."""
+        token_lists = [tokenize(s) for s in sents]
+        vocab: dict[str, int] = {}
+        for tokens in token_lists:
+            for token in tokens:
+                vocab.setdefault(token, len(vocab))
+        if not vocab:
+            return np.array([float(len(s)) for s in sents])
+        # Term-by-sentence TF-IDF matrix.
+        matrix = np.zeros((len(vocab), len(sents)), dtype=np.float64)
+        doc_freq = Counter()
+        for tokens in token_lists:
+            doc_freq.update(set(tokens))
+        n_sents = len(sents)
+        for j, tokens in enumerate(token_lists):
+            for token, count in Counter(tokens).items():
+                idf = math.log((1 + n_sents) / (1 + doc_freq[token])) + 1.0
+                matrix[vocab[token], j] = count * idf
+        # SVD: columns of vt.T give each sentence's topic coordinates.
+        try:
+            _, singular, vt = np.linalg.svd(matrix, full_matrices=False)
+        except np.linalg.LinAlgError:
+            return matrix.sum(axis=0)
+        k = min(self.topics, len(singular))
+        # Salience: length of the sentence vector in the top-k topic space,
+        # weighted by singular values (Steinberger & Jezek scoring).
+        weighted = (singular[:k, None] * vt[:k, :]) ** 2
+        return np.sqrt(weighted.sum(axis=0))

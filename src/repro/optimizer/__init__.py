@@ -1,0 +1,21 @@
+"""Summary-aware query optimizer (§5).
+
+Equivalence/transformation rules over the summary-based operators (Rules
+1–11 of §5.1), summary statistics with per-label histograms (§5.2,
+Figure 6), a cardinality/cost model, and a planner that enumerates rewritten
+plans, lowers them to physical operators (choosing access paths, join
+algorithms, and sort methods), and picks the cheapest.
+"""
+
+from repro.optimizer.statistics import StatisticsCatalog, LabelStats, Histogram
+from repro.optimizer.rules import apply_rules
+from repro.optimizer.planner import Planner, PlannerOptions
+
+__all__ = [
+    "StatisticsCatalog",
+    "LabelStats",
+    "Histogram",
+    "apply_rules",
+    "Planner",
+    "PlannerOptions",
+]

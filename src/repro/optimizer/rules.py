@@ -1,0 +1,226 @@
+"""Equivalence and transformation rules for summary-based operators (§5.1).
+
+The binder already realizes the classical rewrites the paper treats as
+given (σ pushed onto scans — Rules 1 and 9 are therefore satisfied by
+construction), so this module contributes the genuinely new rewrites:
+
+* **Rules 2 & 10** — push a summary-based selection S below a (data or
+  summary) join, iff its predicate is on instances linked to only one side.
+* **Rules 7 & 8** — push a summary-based filter F below a join: content
+  predicates to the side owning the instances, structural predicates to
+  *both* sides.
+* **Rule 11** — switch the order of a data join and a summary join, iff the
+  summary predicate's instances are not on the newly-inner relation and the
+  data condition does not touch the summary join's other input.
+* **Rules 3–6** (order preservation) are not tree rewrites: the planner's
+  lowering tracks *interesting orders* produced by Summary-BTree scans and
+  eliminates sorts they satisfy.
+
+``apply_rules`` explores the rewrite space to a fixpoint (bounded) and
+returns all distinct equivalent plans; the planner costs each.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.query.ast import Expr
+from repro.query.binder import BindInfo
+from repro.query.logical import (
+    LogicalJoin,
+    LogicalPlan,
+    LogicalSummaryFilter,
+    LogicalSummaryJoin,
+    LogicalSummarySelect,
+    aliases_in,
+    conjoin,
+    instances_in,
+    split_conjuncts,
+)
+from repro.summaries.maintenance import SummaryManager
+
+
+@dataclass
+class RuleContext:
+    """Catalog facts rule side-conditions consult."""
+
+    manager: SummaryManager
+    info: BindInfo
+
+    def tables_of(self, plan: LogicalPlan) -> set[str]:
+        return {self.info.table_of(a).lower() for a in plan.aliases()}
+
+    def instances_on(self, plan: LogicalPlan) -> set[str]:
+        """Summary instances linked to any table in ``plan``'s subtree."""
+        out: set[str] = set()
+        for table in self.tables_of(plan):
+            out.update(i.name for i in self.manager.instances_for(table))
+        return out
+
+    def predicate_only_on(self, pred: Expr, plan: LogicalPlan) -> bool:
+        """Rule 2/7/10 side condition: the predicate's instances are linked
+        to ``plan``'s tables and to no other relation in the query."""
+        instances = instances_in(pred)
+        if not instances:
+            return False
+        here = self.instances_on(plan)
+        if not instances <= here:
+            return False
+        other_tables = {
+            t.lower() for t in self.info.alias_tables.values()
+        } - self.tables_of(plan)
+        for table in other_tables:
+            for inst in self.manager.instances_for(table):
+                if inst.name in instances:
+                    return False
+        # The predicate must also reference only aliases of this side.
+        return aliases_in(pred) <= plan.aliases()
+
+
+def _local_variants(plan: LogicalPlan, ctx: RuleContext) -> Iterator[LogicalPlan]:
+    yield from _rule_push_summary_select(plan, ctx)
+    yield from _rule_push_summary_filter(plan, ctx)
+    yield from _rule_11_join_switch(plan, ctx)
+
+
+def _rule_push_summary_select(
+    plan: LogicalPlan, ctx: RuleContext
+) -> Iterator[LogicalPlan]:
+    """Rules 2 and 10: S(R ./ S) = S(R) ./ S when p is on instances in R
+    only (and symmetrically for the right side)."""
+    if not isinstance(plan, LogicalSummarySelect):
+        return
+    child = plan.child
+    if not isinstance(child, (LogicalJoin, LogicalSummaryJoin)):
+        return
+    conjuncts = split_conjuncts(plan.predicate)
+    for side_name in ("left", "right"):
+        side = getattr(child, side_name)
+        pushable = [p for p in conjuncts if ctx.predicate_only_on(p, side)]
+        if not pushable:
+            continue
+        rest = [p for p in conjuncts if p not in pushable]
+        new_side = LogicalSummarySelect(side, conjoin(pushable))
+        new_join = child.with_children(
+            [new_side, child.right] if side_name == "left"
+            else [child.left, new_side]
+        )
+        if rest:
+            yield LogicalSummarySelect(new_join, conjoin(rest))
+        else:
+            yield new_join
+
+
+def _rule_push_summary_filter(
+    plan: LogicalPlan, ctx: RuleContext
+) -> Iterator[LogicalPlan]:
+    """Rules 7 and 8: push F below a join — content predicates to the owning
+    side, structural predicates to both sides."""
+    if not isinstance(plan, LogicalSummaryFilter):
+        return
+    child = plan.child
+    if not isinstance(child, (LogicalJoin, LogicalSummaryJoin)):
+        return
+    if plan.structural:
+        # Rule 8: a structural predicate applies to both inputs.
+        new_left = LogicalSummaryFilter(child.left, plan.predicate, structural=True)
+        new_right = LogicalSummaryFilter(child.right, plan.predicate, structural=True)
+        yield child.with_children([new_left, new_right])
+        return
+    # Rule 7: a content predicate follows its instances to one side. A bare
+    # ObjectFunc predicate names no instance, so this applies only when one
+    # side has no summary instances at all.
+    for side_name in ("left", "right"):
+        side = getattr(child, side_name)
+        other = child.right if side_name == "left" else child.left
+        if ctx.instances_on(other):
+            continue
+        new_side = LogicalSummaryFilter(side, plan.predicate)
+        yield child.with_children(
+            [new_side, child.right] if side_name == "left"
+            else [child.left, new_side]
+        )
+
+
+def _rule_11_join_switch(
+    plan: LogicalPlan, ctx: RuleContext
+) -> Iterator[LogicalPlan]:
+    """Rule 11: T ./c J_p(R, S) = J_p((T ./c R), S), iff p is on instances
+    not in T and c does not involve S's attributes. Both directions are
+    generated so the optimizer can undo a bad initial order."""
+    # Direction 1: data join above a summary join -> pull the summary join up.
+    if isinstance(plan, LogicalJoin):
+        for side_name in ("left", "right"):
+            inner = getattr(plan, side_name)
+            outer = plan.right if side_name == "left" else plan.left
+            if not isinstance(inner, LogicalSummaryJoin):
+                continue
+            p = inner.predicate
+            # p's instances must not be on T (the outer relation).
+            if instances_in(p) & ctx.instances_on(outer):
+                continue
+            # c must not involve S's (inner.right's) attributes.
+            if plan.condition is not None and (
+                aliases_in(plan.condition) & inner.right.aliases()
+            ):
+                continue
+            new_inner_join = LogicalJoin(inner.left, outer, plan.condition)
+            yield LogicalSummaryJoin(
+                new_inner_join, inner.right, p, inner.data_condition
+            )
+    # Direction 2: summary join above a data join -> push the data join up.
+    if isinstance(plan, LogicalSummaryJoin):
+        left = plan.left
+        if isinstance(left, LogicalJoin) and left.condition is not None:
+            # J_p((A ./c T), S) -> (J_p(A, S)) ./c T, iff p not on T and c
+            # not on S.
+            a_side, t_side = left.left, left.right
+            if (
+                not (instances_in(plan.predicate) & ctx.instances_on(t_side))
+                and not (aliases_in(left.condition) & plan.right.aliases())
+                and aliases_in(plan.predicate) <= (
+                    a_side.aliases() | plan.right.aliases()
+                )
+            ):
+                new_summary_join = LogicalSummaryJoin(
+                    a_side, plan.right, plan.predicate, plan.data_condition
+                )
+                yield LogicalJoin(new_summary_join, t_side, left.condition)
+
+
+def _variants(plan: LogicalPlan, ctx: RuleContext) -> Iterator[LogicalPlan]:
+    """All plans reachable by one rule application anywhere in the tree."""
+    yield from _local_variants(plan, ctx)
+    for i, child in enumerate(plan.children):
+        for variant in _variants(child, ctx):
+            children = list(plan.children)
+            children[i] = variant
+            yield plan.with_children(children)
+
+
+def _signature(plan: LogicalPlan) -> str:
+    return plan.pretty()
+
+
+def apply_rules(
+    plan: LogicalPlan,
+    manager: SummaryManager,
+    info: BindInfo,
+    max_plans: int = 64,
+) -> list[LogicalPlan]:
+    """Fixpoint exploration of the rule space; returns distinct equivalent
+    plans including the original."""
+    ctx = RuleContext(manager, info)
+    seen = {_signature(plan): plan}
+    frontier = [plan]
+    while frontier and len(seen) < max_plans:
+        next_frontier: list[LogicalPlan] = []
+        for candidate in frontier:
+            for variant in _variants(candidate, ctx):
+                sig = _signature(variant)
+                if sig not in seen:
+                    seen[sig] = variant
+                    next_frontier.append(variant)
+        frontier = next_frontier
+    return list(seen.values())

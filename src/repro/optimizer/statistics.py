@@ -1,0 +1,252 @@
+"""Statistics over data columns and annotation summaries (§5.2, Figure 6).
+
+For each summary instance linked to a relation, InsightNotes maintains the
+average object size; for each classifier label it additionally keeps
+``{Min, Max, NumDistinct, Equi-Width Histogram}`` over the label's count
+field. These are the inputs to the cardinality estimates of the
+summary-based operators.
+
+Statistics are collected by :meth:`StatisticsCatalog.analyze` and kept fresh
+through the same observer interface the indexes use: mutations mark a table
+stale and the next optimizer access re-analyzes it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.catalog.catalog import Catalog
+from repro.summaries.maintenance import SummaryManager
+from repro.summaries.objects import ClassifierObject
+
+DEFAULT_BUCKETS = 16
+
+
+@dataclass
+class Histogram:
+    """Equi-width histogram over a numeric domain."""
+
+    lo: float
+    hi: float
+    buckets: list[int]
+
+    @classmethod
+    def build(cls, values: list[float], num_buckets: int = DEFAULT_BUCKETS) -> "Histogram":
+        if not values:
+            return cls(0.0, 0.0, [0] * num_buckets)
+        lo, hi = float(min(values)), float(max(values))
+        hist = cls(lo, hi, [0] * num_buckets)
+        for v in values:
+            hist.buckets[hist._bucket_of(float(v))] += 1
+        return hist
+
+    @property
+    def total(self) -> int:
+        return sum(self.buckets)
+
+    def _width(self) -> float:
+        return (self.hi - self.lo) / len(self.buckets) if self.hi > self.lo else 1.0
+
+    def _bucket_of(self, value: float) -> int:
+        if self.hi <= self.lo:
+            return 0
+        idx = int((value - self.lo) / self._width())
+        return min(max(idx, 0), len(self.buckets) - 1)
+
+    def selectivity_eq(self, value: float, ndistinct: int) -> float:
+        """Fraction of rows expected to equal ``value``."""
+        if self.total == 0:
+            return 0.0
+        if value < self.lo or value > self.hi:
+            return 0.0
+        bucket = self.buckets[self._bucket_of(value)]
+        per_value = bucket / max(self.total, 1)
+        # Assume values spread evenly inside the bucket.
+        values_per_bucket = max(ndistinct / len(self.buckets), 1.0)
+        return per_value / values_per_bucket
+
+    def selectivity_range(
+        self, lo: float | None, hi: float | None
+    ) -> float:
+        """Fraction of rows expected within [lo, hi]."""
+        if self.total == 0:
+            return 0.0
+        lo = self.lo if lo is None else lo
+        hi = self.hi if hi is None else hi
+        if hi < self.lo or lo > self.hi or hi < lo:
+            return 0.0
+        width = self._width()
+        count = 0.0
+        for i, bucket in enumerate(self.buckets):
+            b_lo = self.lo + i * width
+            b_hi = b_lo + width
+            overlap = max(0.0, min(hi, b_hi) - max(lo, b_lo))
+            if width > 0:
+                count += bucket * min(overlap / width, 1.0)
+            elif lo <= b_lo <= hi:
+                count += bucket
+        return min(count / self.total, 1.0)
+
+
+@dataclass
+class LabelStats:
+    """Figure 6's per-classifier-label statistics."""
+
+    min: int
+    max: int
+    ndistinct: int
+    histogram: Histogram
+
+    @classmethod
+    def build(cls, counts: list[int]) -> "LabelStats":
+        if not counts:
+            return cls(0, 0, 0, Histogram.build([]))
+        return cls(
+            min(counts), max(counts), len(set(counts)),
+            Histogram.build([float(c) for c in counts]),
+        )
+
+
+@dataclass
+class ColumnStats:
+    ndistinct: int
+    min: object = None
+    max: object = None
+    histogram: Histogram | None = None
+
+    @classmethod
+    def build(cls, values: list[object]) -> "ColumnStats":
+        non_null = [v for v in values if v is not None]
+        if not non_null:
+            return cls(0)
+        numeric = all(isinstance(v, (int, float)) for v in non_null)
+        return cls(
+            ndistinct=len(set(non_null)),
+            min=min(non_null),
+            max=max(non_null),
+            histogram=(
+                Histogram.build([float(v) for v in non_null]) if numeric else None
+            ),
+        )
+
+
+@dataclass
+class InstanceStats:
+    """Per summary instance on one relation."""
+
+    avg_object_size: float
+    #: classifier label -> stats on the count field
+    labels: dict[str, LabelStats] = field(default_factory=dict)
+
+
+@dataclass
+class TableStats:
+    row_count: int
+    heap_pages: int
+    summary_pages: int
+    columns: dict[str, ColumnStats] = field(default_factory=dict)
+    instances: dict[str, InstanceStats] = field(default_factory=dict)
+
+
+class StatisticsCatalog:
+    """Collects and serves statistics; implements the summary-observer
+    interface so mutations invalidate affected tables."""
+
+    def __init__(self, catalog: Catalog, manager: SummaryManager):
+        self.catalog = catalog
+        self.manager = manager
+        self._stats: dict[str, TableStats] = {}
+        self._stale: set[str] = set()
+
+    # -- observer interface (registered per table/instance) -----------------------
+
+    def observer_for(self, table: str) -> "_StalenessObserver":
+        return _StalenessObserver(self, table.lower())
+
+    def mark_stale(self, table: str) -> None:
+        self._stale.add(table.lower())
+
+    # -- collection ---------------------------------------------------------------
+
+    def analyze(self, table_name: str) -> TableStats:
+        """Full statistics pass over one table and its summaries."""
+        table = self.catalog.table(table_name)
+        key = table_name.lower()
+        rows = [values for _, values in table.scan()]
+        columns = {
+            col.name: ColumnStats.build(
+                [r[i] for r in rows]
+            )
+            for i, col in enumerate(table.schema.columns)
+        }
+        storage = self.manager.storage_for(key)
+        instances: dict[str, InstanceStats] = {}
+        sizes: dict[str, list[int]] = {}
+        label_counts: dict[str, dict[str, list[int]]] = {}
+        annotated = 0
+        for _, objects in storage.scan():
+            annotated += 1
+            for name, obj in objects.items():
+                sizes.setdefault(name, []).append(len(obj.to_bytes()))
+                if isinstance(obj, ClassifierObject):
+                    per_label = label_counts.setdefault(name, {})
+                    for label, count in obj.rep():
+                        per_label.setdefault(label, []).append(count)
+        # Un-annotated tuples count as zero for every label (the optimizer
+        # must see them when estimating e.g. "Provenance = 0").
+        missing = max(len(rows) - annotated, 0)
+        for name, per_label in label_counts.items():
+            for counts in per_label.values():
+                counts.extend([0] * missing)
+        for name, size_list in sizes.items():
+            instances[name] = InstanceStats(
+                avg_object_size=sum(size_list) / len(size_list),
+                labels={
+                    label: LabelStats.build(counts)
+                    for label, counts in label_counts.get(name, {}).items()
+                },
+            )
+        stats = TableStats(
+            row_count=len(rows),
+            heap_pages=max(table.heap.num_pages, 1),
+            summary_pages=max(storage.num_pages, 1),
+            columns=columns,
+            instances=instances,
+        )
+        self._stats[key] = stats
+        self._stale.discard(key)
+        return stats
+
+    def table_stats(self, table_name: str) -> TableStats:
+        """Stats for a table, re-analyzing when stale or missing."""
+        key = table_name.lower()
+        if key not in self._stats or key in self._stale:
+            return self.analyze(table_name)
+        return self._stats[key]
+
+    def label_stats(
+        self, table_name: str, instance: str, label: str
+    ) -> LabelStats | None:
+        stats = self.table_stats(table_name)
+        inst = stats.instances.get(instance)
+        if inst is None:
+            return None
+        return inst.labels.get(label)
+
+
+class _StalenessObserver:
+    """Adapter implementing the summary-observer protocol by marking the
+    owning table's statistics stale."""
+
+    def __init__(self, stats: StatisticsCatalog, table: str):
+        self._stats = stats
+        self._table = table
+
+    def on_summary_insert(self, oid, obj) -> None:
+        self._stats.mark_stale(self._table)
+
+    def on_summary_update(self, oid, old_counts, new_counts) -> None:
+        self._stats.mark_stale(self._table)
+
+    def on_tuple_delete(self, oid, counts) -> None:
+        self._stats.mark_stale(self._table)

@@ -1,0 +1,14 @@
+"""Summary-aware query engine.
+
+SQL subset -> AST -> logical plan -> (optimizer) -> physical operators ->
+Volcano-style execution. The engine mixes standard relational operators with
+the paper's summary-based operators (Filter F, Selection S, Join J, Sort O)
+in a single pipeline (§3.2), propagating and transforming summary objects per
+the InsightNotes algebra (§2.2).
+"""
+
+from repro.query.parser import parse_sql
+from repro.query.result import ResultSet
+from repro.query.tuples import QTuple
+
+__all__ = ["parse_sql", "ResultSet", "QTuple"]

@@ -1,0 +1,383 @@
+"""Binder: SELECT AST -> validated initial logical plan.
+
+The initial plan mirrors the paper's "default" shape (Figure 5(a)): data
+selections are pushed onto their scans (classic optimization, assumed
+given), data joins are built left-deep in FROM order, and the *summary-based*
+operators (S, J, O) sit above the join tree — which is exactly where the
+§5.1 rules then find their opportunities.
+
+Summary elimination for the final projection (§2.2 step 1: "project out the
+un-needed annotations before any merge") is recorded per alias in
+:class:`BindInfo.retained_summary_columns` and applied by the physical scans.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.catalog.catalog import Catalog
+from repro.errors import BindError
+from repro.query.ast import (
+    UdfCall,
+    AggCall,
+    ColumnRef,
+    Expr,
+    SelectItem,
+    SelectStmt,
+    Star,
+    SummaryExpr,
+)
+from repro.query.logical import (
+    summary_exprs_in,
+    LogicalDistinct,
+    LogicalGroup,
+    LogicalJoin,
+    LogicalLimit,
+    LogicalPlan,
+    LogicalProject,
+    LogicalScan,
+    LogicalSelect,
+    LogicalSort,
+    LogicalSummaryFilter,
+    LogicalSummaryJoin,
+    LogicalSummarySelect,
+    aliases_in,
+    conjoin,
+    has_summary_expr,
+    split_conjuncts,
+)
+from repro.summaries.maintenance import SummaryManager
+
+
+@dataclass
+class BindInfo:
+    """Catalog facts the optimizer and executor need about a bound query."""
+
+    alias_tables: dict[str, str]
+    #: alias -> columns retained in the final output (None = all columns,
+    #: e.g. a ``*`` projection); drives summary-effect elimination.
+    retained_summary_columns: dict[str, set[str] | None] = field(
+        default_factory=dict
+    )
+
+    def table_of(self, alias: str) -> str:
+        return self.alias_tables[alias]
+
+
+def _rewrite_having(expr: Expr, aliases: dict[str, str] | None = None) -> Expr:
+    """Replace aggregate calls (and select-list aliases of aggregates)
+    with references to the group operator's output columns (GroupOp
+    materializes each aggregate under its canonical ``str(AggCall)``
+    name)."""
+    from repro.query.ast import And, Comparison, Not, Or
+
+    aliases = aliases or {}
+    if isinstance(expr, AggCall):
+        return ColumnRef(None, str(expr))
+    if isinstance(expr, ColumnRef) and expr.alias is None \
+            and expr.column in aliases:
+        return ColumnRef(None, aliases[expr.column])
+    if isinstance(expr, Comparison):
+        return Comparison(expr.op, _rewrite_having(expr.left, aliases),
+                          _rewrite_having(expr.right, aliases))
+    if isinstance(expr, And):
+        return And(tuple(_rewrite_having(i, aliases) for i in expr.items))
+    if isinstance(expr, Or):
+        return Or(tuple(_rewrite_having(i, aliases) for i in expr.items))
+    if isinstance(expr, Not):
+        return Not(_rewrite_having(expr.item, aliases))
+    return expr
+
+
+class Binder:
+    def __init__(self, catalog: Catalog, manager: SummaryManager):
+        self.catalog = catalog
+        self.manager = manager
+
+    def bind(self, stmt: SelectStmt) -> tuple[LogicalPlan, BindInfo]:
+        info = self._bind_tables(stmt)
+        stmt = self._resolve_order_aliases(stmt)
+        self._validate_expressions(stmt, info)
+        plan = self._build_plan(stmt, info)
+        return plan, info
+
+    @staticmethod
+    def _resolve_order_aliases(stmt: SelectStmt) -> SelectStmt:
+        """ORDER BY (and HAVING handles its own) may reference select-item
+        aliases; resolve them to the aliased expression — aggregates map to
+        the group operator's canonical output column."""
+        if not stmt.order_by:
+            return stmt
+        by_alias = {
+            item.alias: item.expr
+            for item in stmt.items
+            if isinstance(item, SelectItem) and item.alias
+        }
+        if not by_alias:
+            return stmt
+        resolved = []
+        changed = False
+        for expr, direction in stmt.order_by:
+            if isinstance(expr, ColumnRef) and expr.alias is None \
+                    and expr.column in by_alias:
+                target = by_alias[expr.column]
+                if isinstance(target, AggCall):
+                    target = ColumnRef(None, str(target))
+                resolved.append((target, direction))
+                changed = True
+            else:
+                resolved.append((expr, direction))
+        if not changed:
+            return stmt
+        import dataclasses
+
+        return dataclasses.replace(stmt, order_by=resolved)
+
+    # -- tables -----------------------------------------------------------------
+
+    def _bind_tables(self, stmt: SelectStmt) -> BindInfo:
+        alias_tables: dict[str, str] = {}
+        for ref in stmt.tables:
+            if not self.catalog.has_table(ref.name):
+                raise BindError(f"unknown table {ref.name!r}")
+            if ref.alias in alias_tables:
+                raise BindError(f"duplicate alias {ref.alias!r}")
+            alias_tables[ref.alias] = self.catalog.table(ref.name).name
+        return BindInfo(alias_tables)
+
+    # -- validation -----------------------------------------------------------------
+
+    def _iter_exprs(self, stmt: SelectStmt):
+        for item in stmt.items:
+            if isinstance(item, SelectItem):
+                yield item.expr
+        if stmt.where is not None:
+            yield stmt.where
+        yield from stmt.group_by
+        for expr, _ in stmt.order_by:
+            yield expr
+
+    def _validate_expressions(self, stmt: SelectStmt, info: BindInfo) -> None:
+        aliases = info.alias_tables
+        # Group-output columns (canonical aggregate names and select
+        # aliases) are legal bare references in ORDER BY / HAVING.
+        group_columns = set()
+        for item in stmt.items:
+            if isinstance(item, SelectItem) and isinstance(item.expr, AggCall):
+                group_columns.add(str(item.expr))
+                if item.alias:
+                    group_columns.add(item.alias)
+        for root in self._iter_exprs(stmt):
+            udf_args: set[int] = set()
+            for node in root.walk():
+                if isinstance(node, ColumnRef):
+                    if node.alias is None and node.column in group_columns:
+                        continue
+                    self._validate_column(node, info)
+                elif isinstance(node, UdfCall):
+                    if node.name not in self.manager.udfs:
+                        raise BindError(
+                            f"unknown UDF {node.name!r}; register it with "
+                            "Database.register_udf first"
+                        )
+                    udf_args.update(id(a) for a in node.args)
+                elif isinstance(node, SummaryExpr):
+                    if not node.chain and id(node) not in udf_args:
+                        raise BindError(
+                            "a bare '$' is only valid as a UDF argument"
+                        )
+                    self._validate_summary_expr(node, info)
+
+    def _validate_column(self, ref: ColumnRef, info: BindInfo) -> None:
+        if ref.alias is not None:
+            if ref.alias not in info.alias_tables:
+                raise BindError(f"unknown alias {ref.alias!r}")
+            table = self.catalog.table(info.alias_tables[ref.alias])
+            if ref.column.lower() != "oid" and ref.column not in table.schema:
+                raise BindError(
+                    f"no column {ref.column!r} in table {table.name!r}"
+                )
+            return
+        hits = [
+            alias
+            for alias, tname in info.alias_tables.items()
+            if ref.column in self.catalog.table(tname).schema
+        ]
+        if ref.column.lower() == "oid":
+            return
+        if not hits:
+            raise BindError(f"unknown column {ref.column!r}")
+        if len(hits) > 1:
+            raise BindError(f"ambiguous column {ref.column!r}")
+
+    def _validate_summary_expr(self, expr: SummaryExpr, info: BindInfo) -> None:
+        if expr.alias is None:
+            if len(info.alias_tables) > 1:
+                raise BindError("'$' must be alias-qualified in a multi-table query")
+        elif expr.alias not in info.alias_tables:
+            raise BindError(f"unknown alias {expr.alias!r} in summary expression")
+        instance = expr.instance_name
+        if instance is not None:
+            if not self.manager.has_instance(instance):
+                raise BindError(f"unknown summary instance {instance!r}")
+            table = info.alias_tables.get(expr.alias) if expr.alias \
+                else next(iter(info.alias_tables.values()))
+            if table is not None and not self.manager.is_linked(
+                table, instance
+            ):
+                raise BindError(
+                    f"summary instance {instance!r} is not linked to "
+                    f"table {table!r}"
+                )
+
+    # -- plan construction ------------------------------------------------------------
+
+    def _build_plan(self, stmt: SelectStmt, info: BindInfo) -> LogicalPlan:
+        conjuncts = split_conjuncts(stmt.where)
+        data_single: dict[str, list[Expr]] = {a: [] for a in info.alias_tables}
+        data_multi: list[Expr] = []
+        summary_single: list[Expr] = []
+        summary_multi: list[Expr] = []
+        for pred in conjuncts:
+            refs = aliases_in(pred)
+            if not refs and len(info.alias_tables) == 1:
+                refs = set(info.alias_tables)
+            if has_summary_expr(pred):
+                (summary_multi if len(refs) > 1 else summary_single).append(pred)
+            elif len(refs) <= 1:
+                alias = next(iter(refs), next(iter(info.alias_tables)))
+                data_single[alias].append(pred)
+            else:
+                data_multi.append(pred)
+
+        # Scans with pushed single-table data selections.
+        subplans: dict[str, LogicalPlan] = {}
+        for ref in stmt.tables:
+            plan: LogicalPlan = LogicalScan(info.alias_tables[ref.alias], ref.alias)
+            pred = conjoin(data_single[ref.alias])
+            if pred is not None:
+                plan = LogicalSelect(plan, pred)
+            subplans[ref.alias] = plan
+
+        # Left-deep join tree in FROM order; each step picks up the data join
+        # conditions and summary-join predicates that just became evaluable.
+        order = [ref.alias for ref in stmt.tables]
+        tree = subplans[order[0]]
+        covered = {order[0]}
+        pending_data = list(data_multi)
+        pending_summary = list(summary_multi)
+        for alias in order[1:]:
+            covered.add(alias)
+            ready_data = [p for p in pending_data if aliases_in(p) <= covered]
+            pending_data = [p for p in pending_data if not (aliases_in(p) <= covered)]
+            ready_summary = [p for p in pending_summary if aliases_in(p) <= covered]
+            pending_summary = [
+                p for p in pending_summary if not (aliases_in(p) <= covered)
+            ]
+            right = subplans[alias]
+            if ready_summary:
+                tree = LogicalSummaryJoin(
+                    tree, right,
+                    predicate=conjoin(ready_summary),
+                    data_condition=conjoin(ready_data),
+                )
+            else:
+                tree = LogicalJoin(tree, right, conjoin(ready_data))
+        if pending_data or pending_summary:
+            raise BindError("unresolvable join predicates in WHERE clause")
+
+        # Summary-based selections default *above* the joins (Figure 5(a)).
+        pred = conjoin(summary_single)
+        if pred is not None:
+            tree = LogicalSummarySelect(tree, pred)
+
+        # FILTER SUMMARIES -> the F operator, defaulting above the joins.
+        if stmt.summary_filter is not None:
+            from repro.query.eval import is_structural_predicate
+
+            tree = LogicalSummaryFilter(
+                tree,
+                stmt.summary_filter,
+                structural=is_structural_predicate(stmt.summary_filter),
+            )
+
+        # Grouping (+ HAVING as a post-group selection).
+        if stmt.group_by or stmt.having is not None or any(
+            isinstance(i, SelectItem) and isinstance(i.expr, AggCall)
+            for i in stmt.items
+        ):
+            aggregates = [
+                (item.expr, item.alias or str(item.expr))
+                for item in stmt.items
+                if isinstance(item, SelectItem) and isinstance(item.expr, AggCall)
+            ]
+            having = None
+            if stmt.having is not None:
+                known = {str(expr) for expr, _ in aggregates}
+                for agg in stmt.having.walk():
+                    if isinstance(agg, AggCall) and str(agg) not in known:
+                        # HAVING-only aggregates are computed by the group
+                        # operator under their canonical name.
+                        aggregates.append((agg, str(agg)))
+                        known.add(str(agg))
+                alias_map = {
+                    item.alias: str(item.expr)
+                    for item in stmt.items
+                    if isinstance(item, SelectItem)
+                    and isinstance(item.expr, AggCall)
+                    and item.alias
+                }
+                having = _rewrite_having(stmt.having, alias_map)
+            tree = LogicalGroup(tree, list(stmt.group_by), aggregates)
+            if having is not None:
+                if summary_exprs_in(having):
+                    tree = LogicalSummarySelect(tree, having)
+                else:
+                    tree = LogicalSelect(tree, having)
+
+        # Ordering (the O operator when keys are summary expressions).
+        if stmt.order_by:
+            tree = LogicalSort(tree, list(stmt.order_by))
+
+        if stmt.limit is not None:
+            tree = LogicalLimit(tree, stmt.limit)
+
+        tree = LogicalProject(tree, list(stmt.items))
+        if getattr(stmt, "distinct", False):
+            tree = LogicalDistinct(tree)
+
+        info.retained_summary_columns = self._retained_columns(stmt, info)
+        return tree
+
+    def _retained_columns(
+        self, stmt: SelectStmt, info: BindInfo
+    ) -> dict[str, set[str] | None]:
+        """Columns of each alias surviving into the final output.
+
+        Annotations attached only to non-retained columns have their effect
+        eliminated at scan time (before any merge — the Theorem-1/2
+        requirement of [22] quoted in §2.2).
+        """
+        retained: dict[str, set[str] | None] = {a: set() for a in info.alias_tables}
+
+        def keep(alias: str | None, column: str) -> None:
+            targets = [alias] if alias else list(info.alias_tables)
+            for a in targets:
+                table = self.catalog.table(info.alias_tables[a])
+                if column in table.schema and retained[a] is not None:
+                    retained[a].add(column)
+
+        for item in stmt.items:
+            if isinstance(item, Star):
+                for a in ([item.alias] if item.alias else info.alias_tables):
+                    retained[a] = None  # all columns retained
+            else:
+                for node in item.expr.walk():
+                    if isinstance(node, ColumnRef):
+                        keep(node.alias, node.column)
+        # Group keys materialize in the output as well.
+        for expr in stmt.group_by:
+            for node in expr.walk():
+                if isinstance(node, ColumnRef):
+                    keep(node.alias, node.column)
+        return retained

@@ -1,0 +1,281 @@
+"""Expression evaluation over runtime tuples.
+
+Summary expressions are evaluated by walking their call chain starting at
+the tuple's ``$`` summary set; each link dispatches on the receiver type
+(SummarySet / Classifier / Snippet / Cluster object) to the §3.1
+manipulation functions. Keyword-search functions consult the snippets first
+and fall back to the raw annotations through the
+:class:`EvalContext` — the accuracy/performance tradeoff studied in [16].
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.errors import QueryError
+from repro.query.ast import (
+    UdfCall,
+    AggCall,
+    And,
+    ColumnRef,
+    Comparison,
+    Expr,
+    Literal,
+    Not,
+    ObjectFunc,
+    Or,
+    SummaryExpr,
+)
+from repro.query.tuples import QTuple
+from repro.summaries.functions import SummarySet
+from repro.summaries.objects import (
+    ClassifierObject,
+    ClusterObject,
+    SnippetObject,
+    SummaryObject,
+)
+
+
+@dataclass
+class EvalContext:
+    """Execution-wide services the evaluator may need.
+
+    ``manager`` resolves raw annotation texts for keyword-search fallback;
+    ``search_raw`` can be disabled to search snippets only (faster, possibly
+    less complete — the [16] tradeoff).
+    """
+
+    manager: object | None = None  # SummaryManager, typed loosely to avoid cycles
+    search_raw: bool = True
+    #: registered black-box UDFs over summary sets (§3.2): name -> callable
+    udfs: dict = field(default_factory=dict)
+    _raw_cache: dict[int, str] = field(default_factory=dict)
+
+    def raw_texts(self, ann_ids: list[int]) -> list[str]:
+        if self.manager is None:
+            return []
+        missing = [a for a in ann_ids if a not in self._raw_cache]
+        if missing:
+            for ann_id, text in zip(
+                missing, self.manager.annotations.texts(missing)
+            ):
+                self._raw_cache[ann_id] = text
+        return [self._raw_cache[a] for a in ann_ids]
+
+
+def like_match(value: str, pattern: str) -> bool:
+    """SQL LIKE with ``%`` and ``_`` wildcards (also accepts ``*`` as a
+    convenience alias for ``%``, matching the paper's "Swan*" example)."""
+    regex = "".join(
+        ".*" if ch in "%*" else "." if ch == "_" else re.escape(ch)
+        for ch in pattern
+    )
+    # DOTALL: SQL's % and _ match any character, including newlines —
+    # annotations are multi-line text.
+    flags = re.IGNORECASE | re.DOTALL
+    return re.fullmatch(regex, value, flags=flags) is not None
+
+
+def evaluate(expr: Expr, row: QTuple, ctx: EvalContext | None = None) -> object:
+    """Evaluate ``expr`` against one tuple. Comparison with NULL is False."""
+    ctx = ctx or EvalContext()
+    if isinstance(expr, Literal):
+        return expr.value
+    if isinstance(expr, ColumnRef):
+        name = f"{expr.alias}.{expr.column}" if expr.alias else expr.column
+        return row.get(name)
+    if isinstance(expr, SummaryExpr):
+        return evaluate_summary_expr(expr, row, ctx)
+    if isinstance(expr, Comparison):
+        return _compare(expr, row, ctx)
+    if isinstance(expr, And):
+        return all(bool(evaluate(i, row, ctx)) for i in expr.items)
+    if isinstance(expr, Or):
+        return any(bool(evaluate(i, row, ctx)) for i in expr.items)
+    if isinstance(expr, Not):
+        return not bool(evaluate(expr.item, row, ctx))
+    if isinstance(expr, UdfCall):
+        fn = ctx.udfs.get(expr.name)
+        if fn is None:
+            raise QueryError(f"unknown UDF {expr.name!r}")
+        return fn(*[evaluate(a, row, ctx) for a in expr.args])
+    if isinstance(expr, AggCall):
+        raise QueryError(
+            f"aggregate {expr.func} outside GROUP BY evaluation"
+        )
+    raise QueryError(f"cannot evaluate expression {expr!r}")
+
+
+def _compare(expr: Comparison, row: QTuple, ctx: EvalContext) -> bool:
+    left = evaluate(expr.left, row, ctx)
+    right = evaluate(expr.right, row, ctx)
+    if left is None or right is None:
+        return False
+    if expr.op == "LIKE":
+        return like_match(str(left), str(right))
+    if expr.op == "=":
+        return left == right
+    if expr.op == "<>":
+        return left != right
+    try:
+        if expr.op == "<":
+            return left < right
+        if expr.op == "<=":
+            return left <= right
+        if expr.op == ">":
+            return left > right
+        if expr.op == ">=":
+            return left >= right
+    except TypeError as exc:
+        raise QueryError(f"cannot compare {left!r} {expr.op} {right!r}") from exc
+    raise QueryError(f"unknown operator {expr.op!r}")
+
+
+def evaluate_object_predicate(
+    expr: Expr, obj: SummaryObject, ctx: EvalContext | None = None
+) -> bool:
+    """Evaluate a FILTER SUMMARIES predicate against one summary object.
+
+    :class:`~repro.query.ast.ObjectFunc` leaves dispatch on ``obj``; the
+    boolean/comparison structure is shared with row evaluation.
+    """
+    ctx = ctx or EvalContext()
+
+    def ev(e: Expr) -> object:
+        if isinstance(e, Literal):
+            return e.value
+        if isinstance(e, ObjectFunc):
+            return _dispatch_object(obj, e.name, e.args, ctx)
+        if isinstance(e, Comparison):
+            left, right = ev(e.left), ev(e.right)
+            if left is None or right is None:
+                return False
+            if e.op == "LIKE":
+                return like_match(str(left), str(right))
+            return {
+                "=": left == right,
+                "<>": left != right,
+                "<": left < right,
+                "<=": left <= right,
+                ">": left > right,
+                ">=": left >= right,
+            }[e.op]
+        if isinstance(e, And):
+            return all(bool(ev(i)) for i in e.items)
+        if isinstance(e, Or):
+            return any(bool(ev(i)) for i in e.items)
+        if isinstance(e, Not):
+            return not bool(ev(e.item))
+        raise QueryError(f"invalid FILTER SUMMARIES expression {e!r}")
+
+    return bool(ev(expr))
+
+
+def is_structural_predicate(expr: Expr) -> bool:
+    """True when a FILTER SUMMARIES predicate touches only the InstanceID /
+    SummaryType of the objects — the paper's *structural* predicates, which
+    Rule 8 may push to both join sides."""
+    structural_funcs = {"getSummaryType", "getSummaryName"}
+    for node in expr.walk():
+        if isinstance(node, ObjectFunc) and node.name not in structural_funcs:
+            return False
+    return True
+
+
+def _rollup_value(
+    obj: ClassifierObject, node: str, ctx: EvalContext
+) -> int | None:
+    """Resolve an inner hierarchy node by summing its subtree's leaves
+    (multi-level summarization); None when the instance is flat or the
+    node is unknown — the caller then raises the flat-label error."""
+    if ctx.manager is None:
+        return None
+    from repro.summaries.hierarchy import HierarchicalClassifierInstance
+
+    try:
+        instance = ctx.manager.instance(obj.instance_name)
+    except Exception:
+        return None
+    if isinstance(instance, HierarchicalClassifierInstance) \
+            and node in instance.tree:
+        return instance.resolve_value(obj, node)
+    return None
+
+
+# -- summary-expression dispatch ----------------------------------------------------
+
+
+def evaluate_summary_expr(
+    expr: SummaryExpr, row: QTuple, ctx: EvalContext
+) -> object:
+    receiver: object = row.summary_set(expr.alias)
+    for call in expr.chain:
+        if receiver is None:
+            return None  # a missing summary object nullifies the chain
+        receiver = _dispatch(receiver, call.name, call.args, ctx)
+    return receiver
+
+
+def _dispatch(receiver: object, name: str, args: tuple, ctx: EvalContext) -> object:
+    if isinstance(receiver, SummarySet):
+        return _dispatch_set(receiver, name, args)
+    if isinstance(receiver, SummaryObject):
+        return _dispatch_object(receiver, name, args, ctx)
+    raise QueryError(f"cannot call {name}() on {type(receiver).__name__}")
+
+
+def _dispatch_set(s: SummarySet, name: str, args: tuple) -> object:
+    if name == "getSize":
+        return s.get_size()
+    if name == "getSummaryObject":
+        if len(args) != 1:
+            raise QueryError("getSummaryObject takes exactly one argument")
+        return s.get_summary_object(args[0])
+    raise QueryError(f"unknown summary-set function {name!r}")
+
+
+def _dispatch_object(
+    obj: SummaryObject, name: str, args: tuple, ctx: EvalContext
+) -> object:
+    # Functions common to all summary types (§3.1).
+    if name == "getSummaryType":
+        return obj.get_summary_type()
+    if name == "getSummaryName":
+        return obj.get_summary_name()
+    if name == "getSize":
+        return obj.get_size()
+
+    if isinstance(obj, ClassifierObject):
+        if name == "getLabelName":
+            return obj.get_label_name(int(args[0]))
+        if name == "getLabelValue":
+            arg = args[0]
+            if isinstance(arg, str) and arg not in obj.label_elements:
+                rolled = _rollup_value(obj, arg, ctx)
+                if rolled is not None:
+                    return rolled
+            return obj.get_label_value(arg)
+    if isinstance(obj, SnippetObject):
+        if name == "getSnippet":
+            return obj.get_snippet(int(args[0]))
+        if name in ("containsSingle", "containsUnion"):
+            keywords = [str(a) for a in args]
+            method = (
+                obj.contains_single if name == "containsSingle"
+                else obj.contains_union
+            )
+            if method(keywords):
+                return True
+            if ctx.search_raw and ctx.manager is not None:
+                raws = ctx.raw_texts(sorted(obj.all_annotation_ids()))
+                return method(keywords, raw_texts=raws)
+            return False
+    if isinstance(obj, ClusterObject):
+        if name == "getGroupSize":
+            return obj.get_group_size(int(args[0]))
+        if name == "getRepresentative":
+            return obj.get_representative(int(args[0]))
+    raise QueryError(
+        f"unknown function {name!r} for {obj.get_summary_type()} objects"
+    )

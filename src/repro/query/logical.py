@@ -1,0 +1,320 @@
+"""Logical plan nodes.
+
+Standard relational operators plus the paper's four summary-based operators
+(§3.2): Filter **F**, Selection **S**, Join **J**, Sort **O**. The optimizer
+rewrites trees of these nodes with the §5.1 equivalence rules before
+lowering them to physical operators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.query.ast import (
+    AggCall,
+    And,
+    ColumnRef,
+    Comparison,
+    Expr,
+    Not,
+    Or,
+    SummaryExpr,
+)
+
+
+# -- expression analysis helpers ------------------------------------------------
+
+
+def aliases_in(expr: Expr) -> set[str]:
+    """Table aliases referenced by ``expr`` (data and summary refs)."""
+    out: set[str] = set()
+    for node in expr.walk():
+        if isinstance(node, ColumnRef) and node.alias:
+            out.add(node.alias)
+        elif isinstance(node, SummaryExpr) and node.alias:
+            out.add(node.alias)
+    return out
+
+
+def has_summary_expr(expr: Expr) -> bool:
+    return any(isinstance(node, SummaryExpr) for node in expr.walk())
+
+
+def summary_exprs_in(expr: Expr) -> list[SummaryExpr]:
+    return [n for n in expr.walk() if isinstance(n, SummaryExpr)]
+
+
+def instances_in(expr: Expr) -> set[str]:
+    """Summary instance names statically referenced by ``expr``."""
+    out: set[str] = set()
+    for node in summary_exprs_in(expr):
+        name = node.instance_name
+        if name is not None:
+            out.add(name)
+    return out
+
+
+def split_conjuncts(expr: Expr | None) -> list[Expr]:
+    """Flatten a WHERE expression into top-level AND conjuncts."""
+    if expr is None:
+        return []
+    if isinstance(expr, And):
+        out: list[Expr] = []
+        for item in expr.items:
+            out.extend(split_conjuncts(item))
+        return out
+    return [expr]
+
+
+def conjoin(conjuncts: list[Expr]) -> Expr | None:
+    if not conjuncts:
+        return None
+    if len(conjuncts) == 1:
+        return conjuncts[0]
+    return And(tuple(conjuncts))
+
+
+# -- plan nodes ---------------------------------------------------------------------
+
+
+@dataclass
+class LogicalPlan:
+    """Base class for logical plan nodes."""
+
+    @property
+    def children(self) -> list["LogicalPlan"]:
+        return []
+
+    def with_children(self, children: list["LogicalPlan"]) -> "LogicalPlan":
+        raise NotImplementedError
+
+    def label(self) -> str:
+        return type(self).__name__.removeprefix("Logical")
+
+    def pretty(self, indent: int = 0) -> str:
+        lines = ["  " * indent + self.label()]
+        for child in self.children:
+            lines.append(child.pretty(indent + 1))
+        return "\n".join(lines)
+
+    def walk_plan(self):
+        yield self
+        for child in self.children:
+            yield from child.walk_plan()
+
+    def aliases(self) -> set[str]:
+        """Aliases produced by this subtree."""
+        out: set[str] = set()
+        for node in self.walk_plan():
+            if isinstance(node, LogicalScan):
+                out.add(node.alias)
+        return out
+
+
+@dataclass
+class LogicalScan(LogicalPlan):
+    table: str
+    alias: str
+
+    def with_children(self, children):
+        assert not children
+        return self
+
+    def label(self) -> str:
+        return f"Scan({self.table} {self.alias})"
+
+
+@dataclass
+class LogicalSelect(LogicalPlan):
+    """Standard data selection σ."""
+
+    child: LogicalPlan
+    predicate: Expr
+
+    @property
+    def children(self):
+        return [self.child]
+
+    def with_children(self, children):
+        return replace(self, child=children[0])
+
+    def label(self) -> str:
+        return f"Select[σ]({self.predicate})"
+
+
+@dataclass
+class LogicalSummarySelect(LogicalPlan):
+    """Summary-based selection S (§3.2): keeps tuples whose summaries
+    satisfy the predicate; summaries pass unchanged."""
+
+    child: LogicalPlan
+    predicate: Expr
+
+    @property
+    def children(self):
+        return [self.child]
+
+    def with_children(self, children):
+        return replace(self, child=children[0])
+
+    def label(self) -> str:
+        return f"SummarySelect[S]({self.predicate})"
+
+
+@dataclass
+class LogicalSummaryFilter(LogicalPlan):
+    """Summary-based filter F (§3.2): keeps every tuple but only the summary
+    objects satisfying the per-object predicate."""
+
+    child: LogicalPlan
+    predicate: Expr  # over ObjectFunc calls
+    structural: bool = False  # predicate on InstanceID / SummaryType only
+
+    @property
+    def children(self):
+        return [self.child]
+
+    def with_children(self, children):
+        return replace(self, child=children[0])
+
+    def label(self) -> str:
+        kind = "structural" if self.structural else "content"
+        return f"SummaryFilter[F:{kind}]({self.predicate})"
+
+
+@dataclass
+class LogicalJoin(LogicalPlan):
+    """Standard data join ⋈ (condition None = cross product)."""
+
+    left: LogicalPlan
+    right: LogicalPlan
+    condition: Expr | None = None
+
+    @property
+    def children(self):
+        return [self.left, self.right]
+
+    def with_children(self, children):
+        return replace(self, left=children[0], right=children[1])
+
+    def label(self) -> str:
+        return f"Join[⋈]({self.condition})"
+
+
+@dataclass
+class LogicalSummaryJoin(LogicalPlan):
+    """Summary-based join J (§3.2): joins r and s iff p(r.$, s.$).
+
+    A mixed expression (the paper's revision-join example combines a
+    data-based and a summary-based join) carries the data part in
+    ``data_condition``; both are evaluated *before* the output tuple's
+    summary sets merge.
+    """
+
+    left: LogicalPlan
+    right: LogicalPlan
+    predicate: Expr
+    data_condition: Expr | None = None
+
+    @property
+    def children(self):
+        return [self.left, self.right]
+
+    def with_children(self, children):
+        return replace(self, left=children[0], right=children[1])
+
+    def label(self) -> str:
+        if self.data_condition is not None:
+            return f"SummaryJoin[J]({self.data_condition} & {self.predicate})"
+        return f"SummaryJoin[J]({self.predicate})"
+
+
+@dataclass
+class LogicalProject(LogicalPlan):
+    """Projection π — also eliminates the effect of annotations attached
+    only to projected-out columns (§2.2)."""
+
+    child: LogicalPlan
+    items: list  # SelectItem | Star
+
+    @property
+    def children(self):
+        return [self.child]
+
+    def with_children(self, children):
+        return replace(self, child=children[0])
+
+    def label(self) -> str:
+        return f"Project[π]({len(self.items)} items)"
+
+
+@dataclass
+class LogicalSort(LogicalPlan):
+    """Sort: data keys -> standard sort; summary keys -> the O operator."""
+
+    child: LogicalPlan
+    keys: list[tuple[Expr, str]]  # (expr, "ASC"|"DESC")
+
+    @property
+    def children(self):
+        return [self.child]
+
+    def with_children(self, children):
+        return replace(self, child=children[0])
+
+    @property
+    def is_summary_sort(self) -> bool:
+        return any(has_summary_expr(e) for e, _ in self.keys)
+
+    def label(self) -> str:
+        tag = "O" if self.is_summary_sort else "sort"
+        rendered = ", ".join(f"{e} {d}" for e, d in self.keys)
+        return f"Sort[{tag}]({rendered})"
+
+
+@dataclass
+class LogicalGroup(LogicalPlan):
+    """Grouping + aggregation; summaries of group members merge (with
+    annotation dedup) into the group's summary set."""
+
+    child: LogicalPlan
+    keys: list[Expr]
+    aggregates: list[tuple[AggCall, str]] = field(default_factory=list)
+
+    @property
+    def children(self):
+        return [self.child]
+
+    def with_children(self, children):
+        return replace(self, child=children[0])
+
+    def label(self) -> str:
+        return f"Group(keys={len(self.keys)}, aggs={len(self.aggregates)})"
+
+
+@dataclass
+class LogicalDistinct(LogicalPlan):
+    child: LogicalPlan
+
+    @property
+    def children(self):
+        return [self.child]
+
+    def with_children(self, children):
+        return replace(self, child=children[0])
+
+
+@dataclass
+class LogicalLimit(LogicalPlan):
+    child: LogicalPlan
+    limit: int
+
+    @property
+    def children(self):
+        return [self.child]
+
+    def with_children(self, children):
+        return replace(self, child=children[0])
+
+    def label(self) -> str:
+        return f"Limit({self.limit})"

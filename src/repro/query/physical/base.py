@@ -1,0 +1,73 @@
+"""Physical operator base class and execution context."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.catalog.catalog import Catalog
+from repro.query.eval import EvalContext
+from repro.query.tuples import QTuple
+from repro.summaries.maintenance import SummaryManager
+
+
+@dataclass
+class ExecContext:
+    """Everything an operator may need at runtime.
+
+    ``propagate`` mirrors the engine's summary-propagation switch: when off,
+    results carry no summary objects and access paths may skip the
+    SummaryStorage entirely (the Figure 13 "NoPropagation" cases).
+    """
+
+    catalog: Catalog
+    manager: SummaryManager
+    propagate: bool = True
+    #: (table lowercase, instance) -> SummaryBTreeIndex
+    summary_indexes: dict = field(default_factory=dict)
+    #: (table lowercase, instance) -> BaselineClassifierIndex
+    baseline_indexes: dict = field(default_factory=dict)
+    #: (table lowercase, instance) -> NormalizedSnippetReplica (Figure 12)
+    normalized_replicas: dict = field(default_factory=dict)
+    #: (table lowercase, instance) -> TrigramKeywordIndex
+    keyword_indexes: dict = field(default_factory=dict)
+    eval_ctx: EvalContext = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.eval_ctx is None:
+            self.eval_ctx = EvalContext(manager=self.manager)
+
+    def summary_index(self, table: str, instance: str):
+        return self.summary_indexes.get((table.lower(), instance))
+
+    def baseline_index(self, table: str, instance: str):
+        return self.baseline_indexes.get((table.lower(), instance))
+
+    def normalized_replica(self, table: str, instance: str):
+        return self.normalized_replicas.get((table.lower(), instance))
+
+    def keyword_index(self, table: str, instance: str):
+        return self.keyword_indexes.get((table.lower(), instance))
+
+
+class PhysicalOperator:
+    """Base class: every operator is an iterator of QTuples."""
+
+    def rows(self) -> Iterator[QTuple]:
+        raise NotImplementedError
+
+    def __iter__(self) -> Iterator[QTuple]:
+        return self.rows()
+
+    @property
+    def children(self) -> list["PhysicalOperator"]:
+        return []
+
+    def label(self) -> str:
+        return type(self).__name__
+
+    def explain(self, indent: int = 0) -> str:
+        lines = ["  " * indent + self.label()]
+        for child in self.children:
+            lines.append(child.explain(indent + 1))
+        return "\n".join(lines)

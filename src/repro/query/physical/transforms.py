@@ -1,0 +1,389 @@
+"""Tuple-at-a-time transform operators: σ, S, F, π, sort/O, group, distinct,
+limit."""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterator
+
+from repro.errors import QueryError
+from repro.query.ast import AggCall, Expr, SelectItem, Star
+from repro.query.eval import evaluate, evaluate_object_predicate
+from repro.query.physical.base import ExecContext, PhysicalOperator
+from repro.query.tuples import QTuple
+from repro.storage.heapfile import HeapFile
+
+
+class FilterOp(PhysicalOperator):
+    """Standard data selection σ (also evaluates summary predicates when the
+    optimizer chose not to use an index — the S operator's generic form)."""
+
+    def __init__(self, ctx: ExecContext, child: PhysicalOperator, predicate: Expr):
+        self.ctx = ctx
+        self.child = child
+        self.predicate = predicate
+
+    @property
+    def children(self):
+        return [self.child]
+
+    def rows(self) -> Iterator[QTuple]:
+        for row in self.child.rows():
+            if evaluate(self.predicate, row, self.ctx.eval_ctx):
+                yield row
+
+    def label(self) -> str:
+        return f"Filter[σ]({self.predicate})"
+
+
+class SummarySelectOp(FilterOp):
+    """The S operator: tuples pass iff their summaries satisfy p; summary
+    objects propagate unchanged (§3.2)."""
+
+    def label(self) -> str:
+        return f"SummarySelect[S]({self.predicate})"
+
+
+class SummaryFilterOp(PhysicalOperator):
+    """The F operator: every tuple passes, carrying only the summary objects
+    that satisfy the per-object predicate (§3.2)."""
+
+    def __init__(self, ctx: ExecContext, child: PhysicalOperator, predicate: Expr):
+        self.ctx = ctx
+        self.child = child
+        self.predicate = predicate
+
+    @property
+    def children(self):
+        return [self.child]
+
+    def rows(self) -> Iterator[QTuple]:
+        for row in self.child.rows():
+            filtered_by_id: dict[int, object] = {}
+            new_sets = {}
+            for alias, sset in row.summary_sets.items():
+                if id(sset) not in filtered_by_id:
+                    filtered_by_id[id(sset)] = sset.filter(
+                        lambda obj: evaluate_object_predicate(
+                            self.predicate, obj, self.ctx.eval_ctx
+                        )
+                    )
+                new_sets[alias] = filtered_by_id[id(sset)]
+            yield QTuple(row.columns, row.values, new_sets, row.provenance)
+
+    def label(self) -> str:
+        return f"SummaryFilter[F]({self.predicate})"
+
+
+class ProjectOp(PhysicalOperator):
+    """Projection π over the final select list.
+
+    Annotation-effect elimination already happened at the scans (before any
+    merge, per [22] Theorems 1–2); this operator shapes the output columns.
+    """
+
+    def __init__(self, ctx: ExecContext, child: PhysicalOperator, items: list):
+        self.ctx = ctx
+        self.child = child
+        self.items = items
+
+    @property
+    def children(self):
+        return [self.child]
+
+    def rows(self) -> Iterator[QTuple]:
+        for row in self.child.rows():
+            columns: list[str] = []
+            values: list[object] = []
+            for item in self.items:
+                if isinstance(item, Star):
+                    for i, column in enumerate(row.columns):
+                        alias = column.split(".", 1)[0]
+                        if item.alias is None or alias == item.alias:
+                            columns.append(column)
+                            values.append(row.values[i])
+                    continue
+                assert isinstance(item, SelectItem)
+                name = item.alias or str(item.expr)
+                columns.append(name)
+                values.append(self._value(item.expr, row))
+            yield QTuple(columns, values, row.summary_sets, row.provenance)
+
+    def _value(self, expr: Expr, row: QTuple) -> object:
+        if isinstance(expr, AggCall):
+            # Aggregates were computed by the Group operator below us.
+            return row.get(str(expr))
+        return evaluate(expr, row, self.ctx.eval_ctx)
+
+    def label(self) -> str:
+        rendered = ", ".join(
+            "*" if isinstance(i, Star) else str(i.expr) for i in self.items
+        )
+        return f"Project[π]({rendered})"
+
+
+class SortOp(PhysicalOperator):
+    """Sort — the O operator when keys are summary expressions (§3.2).
+
+    ``method='mem'`` materializes and sorts in memory; ``method='disk'``
+    runs an external merge sort that spills sorted runs to temporary heap
+    pages (costing real, counted I/O) and k-way-merges them.
+    """
+
+    def __init__(
+        self,
+        ctx: ExecContext,
+        child: PhysicalOperator,
+        keys: list[tuple[Expr, str]],
+        method: str = "mem",
+        run_size: int = 512,
+    ):
+        if method not in ("mem", "disk"):
+            raise QueryError(f"unknown sort method {method!r}")
+        self.ctx = ctx
+        self.child = child
+        self.keys = keys
+        self.method = method
+        self.run_size = run_size
+
+    @property
+    def children(self):
+        return [self.child]
+
+    def _key(self, row: QTuple) -> "_SortKey":
+        """Evaluate the sort keys once for one tuple (no caching by object
+        identity — ids are recycled across the external merge's streams)."""
+        values = [evaluate(expr, row, self.ctx.eval_ctx)
+                  for expr, _ in self.keys]
+        return _SortKey(values, [d for _, d in self.keys])
+
+    def rows(self) -> Iterator[QTuple]:
+        if self.method == "mem":
+            yield from sorted(self.child.rows(), key=self._key)
+            return
+        yield from self._external_sort()
+
+    def _external_sort(self) -> Iterator[QTuple]:
+        sort_key = self._key
+        pool = self.ctx.catalog.pool
+        runs: list[HeapFile] = []
+        buffer: list[QTuple] = []
+
+        def spill():
+            if not buffer:
+                return
+            buffer.sort(key=sort_key)
+            run = HeapFile(pool)
+            for row in buffer:
+                run.insert(row.to_bytes())
+            runs.append(run)
+            buffer.clear()
+
+        for row in self.child.rows():
+            buffer.append(row)
+            if len(buffer) >= self.run_size:
+                spill()
+        spill()
+
+        streams = [
+            (QTuple.from_bytes(record) for _, record in run.scan())
+            for run in runs
+        ]
+        merged = heapq.merge(
+            *[(x for x in s) for s in streams],
+            key=sort_key,
+        )
+        try:
+            yield from merged
+        finally:
+            for run in runs:
+                run.drop()
+
+    def label(self) -> str:
+        tag = "O" if any(
+            hasattr(e, "chain") for e, _ in self.keys
+        ) else "sort"
+        rendered = ", ".join(f"{e} {d}" for e, d in self.keys)
+        return f"Sort[{tag}:{self.method}]({rendered})"
+
+
+class _SortKey:
+    """Multi-key comparable with per-key direction; NULLs sort first under
+    ASC (and therefore last under DESC), matching the engine's historical
+    comparator semantics."""
+
+    __slots__ = ("values", "directions")
+
+    def __init__(self, values: list[object], directions: list[str]):
+        self.values = values
+        self.directions = directions
+
+    def __lt__(self, other: "_SortKey") -> bool:
+        for mine, theirs, direction in zip(
+            self.values, other.values, self.directions
+        ):
+            if mine == theirs:
+                continue
+            if mine is None:
+                less = True
+            elif theirs is None:
+                less = False
+            else:
+                less = mine < theirs
+            return less if direction != "DESC" else not less
+        return False
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _SortKey) and self.values == other.values
+
+
+class GroupOp(PhysicalOperator):
+    """Grouping + aggregation.
+
+    Summaries of the group members merge with annotation dedup (the Q2
+    semantics of Figure 2: an output group's classifier counts reflect the
+    distinct annotations across its base tuples).
+    """
+
+    def __init__(
+        self,
+        ctx: ExecContext,
+        child: PhysicalOperator,
+        keys: list[Expr],
+        aggregates: list[tuple[AggCall, str]],
+    ):
+        self.ctx = ctx
+        self.child = child
+        self.keys = keys
+        self.aggregates = aggregates
+
+    @property
+    def children(self):
+        return [self.child]
+
+    def rows(self) -> Iterator[QTuple]:
+        groups: dict[tuple, list[QTuple]] = {}
+        order: list[tuple] = []
+        for row in self.child.rows():
+            key = tuple(
+                evaluate(k, row, self.ctx.eval_ctx) for k in self.keys
+            )
+            if key not in groups:
+                groups[key] = []
+                order.append(key)
+            groups[key].append(row)
+
+        if not groups and not self.keys:
+            # Global aggregate over an empty input: one conventional row.
+            yield self._output((), [])
+            return
+        for key in order:
+            yield self._output(key, groups[key])
+
+    def _output(self, key: tuple, members: list[QTuple]) -> QTuple:
+        columns = [str(k) for k in self.keys]
+        values: list[object] = list(key)
+        for agg, name in self.aggregates:
+            columns.append(str(agg))
+            values.append(self._aggregate(agg, members))
+        # Merge the members' summary sets (dedup handled by the merge).
+        merged = None
+        aliases: set[str] = set()
+        provenance: dict[str, tuple[str, int]] = {}
+        for member in members:
+            aliases.update(member.summary_sets)
+            provenance.update(member.provenance)
+            mset = member.merged_summary_set()
+            if merged is None:
+                merged = mset.copy()
+            else:
+                merged.merge(mset)
+        if merged is None:
+            from repro.summaries.functions import SummarySet
+
+            merged = SummarySet()
+        return QTuple(
+            columns, values, {a: merged for a in aliases} or {"_g": merged},
+            provenance,
+        )
+
+    def _aggregate(self, agg: AggCall, members: list[QTuple]) -> object:
+        if agg.func == "COUNT" and agg.arg is None:
+            return len(members)
+        if agg.arg is None:
+            raise QueryError(f"{agg.func} requires an argument")
+        observed = [
+            v
+            for v in (
+                evaluate(agg.arg, m, self.ctx.eval_ctx) for m in members
+            )
+            if v is not None
+        ]
+        if agg.func == "COUNT":
+            return len(observed)
+        if not observed:
+            return None
+        if agg.func == "SUM":
+            return sum(observed)
+        if agg.func == "AVG":
+            return sum(observed) / len(observed)
+        if agg.func == "MIN":
+            return min(observed)
+        if agg.func == "MAX":
+            return max(observed)
+        raise QueryError(f"unknown aggregate {agg.func!r}")
+
+    def label(self) -> str:
+        rendered = ", ".join(str(k) for k in self.keys)
+        aggs = ", ".join(str(a) for a, _ in self.aggregates)
+        return f"Group(by=[{rendered}], aggs=[{aggs}])"
+
+
+class DistinctOp(PhysicalOperator):
+    """Duplicate elimination; duplicate tuples' summaries merge (per [22])."""
+
+    def __init__(self, ctx: ExecContext, child: PhysicalOperator):
+        self.ctx = ctx
+        self.child = child
+
+    @property
+    def children(self):
+        return [self.child]
+
+    def rows(self) -> Iterator[QTuple]:
+        seen: dict[tuple, QTuple] = {}
+        order: list[tuple] = []
+        for row in self.child.rows():
+            key = tuple(row.values)
+            if key not in seen:
+                copied = row.copy()
+                seen[key] = copied
+                order.append(key)
+            else:
+                kept = seen[key]
+                kept_set = kept.merged_summary_set()
+                kept_set.merge(row.merged_summary_set())
+                for alias in kept.summary_sets:
+                    kept.summary_sets[alias] = kept_set
+        for key in order:
+            yield seen[key]
+
+
+class LimitOp(PhysicalOperator):
+    def __init__(self, ctx: ExecContext, child: PhysicalOperator, limit: int):
+        self.ctx = ctx
+        self.child = child
+        self.limit = limit
+
+    @property
+    def children(self):
+        return [self.child]
+
+    def rows(self) -> Iterator[QTuple]:
+        for i, row in enumerate(self.child.rows()):
+            if i >= self.limit:
+                return
+            yield row
+
+    def label(self) -> str:
+        return f"Limit({self.limit})"

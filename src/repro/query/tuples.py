@@ -1,0 +1,160 @@
+"""Runtime tuples flowing through the operator pipeline.
+
+A :class:`QTuple` carries its data values (qualified ``alias.column``
+names), a per-alias view of its summary sets, and the (table, oid)
+provenance of each contributing base tuple. After a join, every alias points
+at the *same* merged :class:`~repro.summaries.functions.SummarySet` —
+matching §2.2 where the join merges the summary objects of the joined
+tuples — while the per-alias mapping keeps pre-merge join predicates
+(``p(r.$, s.$)``) expressible.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.errors import QueryError
+from repro.summaries.functions import SummarySet
+from repro.summaries.objects import SummaryObject
+
+
+class QTuple:
+    """One runtime tuple: values + summary set(s) + provenance."""
+
+    __slots__ = ("columns", "values", "summary_sets", "provenance")
+
+    def __init__(
+        self,
+        columns: list[str],
+        values: list[object],
+        summary_sets: dict[str, SummarySet] | None = None,
+        provenance: dict[str, tuple[str, int]] | None = None,
+    ):
+        self.columns = columns
+        self.values = values
+        self.summary_sets = summary_sets or {}
+        self.provenance = provenance or {}
+
+    # -- value access --------------------------------------------------------------
+
+    def get(self, name: str) -> object:
+        """Value of a qualified (``alias.column``) or unique bare column."""
+        if name in self.columns:
+            return self.values[self.columns.index(name)]
+        suffix = "." + name
+        matches = [i for i, c in enumerate(self.columns) if c.endswith(suffix)]
+        if len(matches) == 1:
+            return self.values[matches[0]]
+        if not matches:
+            raise QueryError(f"no column {name!r} in {self.columns}")
+        raise QueryError(f"ambiguous column {name!r} in {self.columns}")
+
+    def has_column(self, name: str) -> bool:
+        if name in self.columns:
+            return True
+        suffix = "." + name
+        return sum(1 for c in self.columns if c.endswith(suffix)) == 1
+
+    # -- summaries -------------------------------------------------------------------
+
+    def summary_set(self, alias: str | None = None) -> SummarySet:
+        """The summary set visible through ``alias.$`` (or the tuple's only
+        set when no alias is given)."""
+        if alias is not None:
+            if alias not in self.summary_sets:
+                raise QueryError(f"no summary set for alias {alias!r}")
+            return self.summary_sets[alias]
+        distinct = self.distinct_summary_sets()
+        if len(distinct) == 1:
+            return distinct[0]
+        if not distinct:
+            return SummarySet()
+        raise QueryError("'$' is ambiguous: qualify it with an alias")
+
+    def distinct_summary_sets(self) -> list[SummarySet]:
+        seen: list[SummarySet] = []
+        for s in self.summary_sets.values():
+            if not any(s is other for other in seen):
+                seen.append(s)
+        return seen
+
+    def merged_summary_set(self) -> SummarySet:
+        """One merged set over all aliases (what the user sees propagated)."""
+        distinct = self.distinct_summary_sets()
+        if not distinct:
+            return SummarySet()
+        merged = distinct[0]
+        if len(distinct) > 1:
+            merged = merged.copy()
+            for other in distinct[1:]:
+                merged.merge(other)
+        return merged
+
+    # -- construction helpers ------------------------------------------------------------
+
+    def copy(self) -> "QTuple":
+        """Copy with *copied* summary sets (safe for operator mutation)."""
+        copies: dict[int, SummarySet] = {}
+        new_sets = {}
+        for alias, s in self.summary_sets.items():
+            if id(s) not in copies:
+                copies[id(s)] = s.copy()
+            new_sets[alias] = copies[id(s)]
+        return QTuple(list(self.columns), list(self.values), new_sets,
+                      dict(self.provenance))
+
+    @staticmethod
+    def join(left: "QTuple", right: "QTuple") -> "QTuple":
+        """Concatenate values and merge summary sets (§2.2 join semantics).
+
+        The merge deduplicates annotations attached to tuples on both sides;
+        instances present on only one side propagate unchanged.
+        """
+        merged = left.merged_summary_set().copy()
+        merged.merge(right.merged_summary_set())
+        sets = {alias: merged for alias in
+                list(left.summary_sets) + list(right.summary_sets)}
+        return QTuple(
+            left.columns + right.columns,
+            left.values + right.values,
+            sets,
+            {**left.provenance, **right.provenance},
+        )
+
+    # -- serialization (external sort spills) ------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        sets = {}
+        set_ids: dict[int, str] = {}
+        for alias, s in self.summary_sets.items():
+            if id(s) not in set_ids:
+                set_ids[id(s)] = f"s{len(set_ids)}"
+                sets[set_ids[id(s)]] = [o.to_dict() for o in s.objects()]
+        payload = {
+            "columns": self.columns,
+            "values": self.values,
+            "alias_sets": {a: set_ids[id(s)] for a, s in self.summary_sets.items()},
+            "sets": sets,
+            "provenance": {a: list(p) for a, p in self.provenance.items()},
+        }
+        return json.dumps(payload, separators=(",", ":")).encode("utf-8")
+
+    @staticmethod
+    def from_bytes(data: bytes) -> "QTuple":
+        payload = json.loads(data)
+        sets = {
+            sid: SummarySet(
+                {d["instance"]: SummaryObject.from_dict(d) for d in objs}
+            )
+            for sid, objs in payload["sets"].items()
+        }
+        return QTuple(
+            payload["columns"],
+            payload["values"],
+            {a: sets[sid] for a, sid in payload["alias_sets"].items()},
+            {a: (p[0], p[1]) for a, p in payload["provenance"].items()},
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        pairs = ", ".join(f"{c}={v!r}" for c, v in zip(self.columns, self.values))
+        return f"QTuple({pairs})"

@@ -1,0 +1,25 @@
+"""Paged storage substrate: simulated disk, slotted pages, buffer pool,
+record serialization, and heap files.
+
+This package stands in for the PostgreSQL storage layer that the paper's
+prototype runs on. Page I/Os are counted at the disk boundary so benchmarks
+can report access-path costs that are robust to interpreter noise.
+"""
+
+from repro.storage.disk import DiskManager, IOStats
+from repro.storage.page import PAGE_SIZE, SlottedPage
+from repro.storage.buffer import BufferPool
+from repro.storage.record import RecordCodec, ValueType
+from repro.storage.heapfile import HeapFile, RID
+
+__all__ = [
+    "DiskManager",
+    "IOStats",
+    "PAGE_SIZE",
+    "SlottedPage",
+    "BufferPool",
+    "RecordCodec",
+    "ValueType",
+    "HeapFile",
+    "RID",
+]

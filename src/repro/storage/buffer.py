@@ -1,0 +1,137 @@
+"""LRU buffer pool.
+
+The buffer pool caches page bytes between the storage structures (heap
+files, B-Trees) and the simulated disk. Page fetches that miss the pool cost
+one disk read; evictions of dirty frames cost one disk write. Hit/miss
+counters are tracked so benchmarks can report cache behaviour.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.errors import BufferPoolError
+from repro.storage.disk import DiskManager
+
+DEFAULT_POOL_PAGES = 256
+
+
+@dataclass
+class _Frame:
+    data: bytearray
+    dirty: bool = False
+    pins: int = 0
+
+
+class BufferPool:
+    """A fixed-capacity LRU page cache over a :class:`DiskManager`."""
+
+    def __init__(self, disk: DiskManager, capacity: int = DEFAULT_POOL_PAGES):
+        if capacity < 1:
+            raise BufferPoolError("buffer pool needs at least one frame")
+        self.disk = disk
+        self.capacity = capacity
+        self.hits = 0
+        self.misses = 0
+        self._frames: OrderedDict[int, _Frame] = OrderedDict()
+
+    # -- page lifecycle -------------------------------------------------------
+
+    def new_page(self) -> int:
+        """Allocate a fresh page on disk and cache it; returns the page id."""
+        page_id = self.disk.allocate_page()
+        self._make_room()
+        self._frames[page_id] = _Frame(bytearray(self.disk.page_size), dirty=True)
+        return page_id
+
+    def get_page(self, page_id: int) -> bytearray:
+        """Return the cached bytes for ``page_id``, reading on a miss.
+
+        The returned bytearray is the live frame: callers that mutate it must
+        follow up with :meth:`mark_dirty`.
+        """
+        frame = self._frames.get(page_id)
+        if frame is not None:
+            self.hits += 1
+            self._frames.move_to_end(page_id)
+            return frame.data
+        self.misses += 1
+        data = self.disk.read_page(page_id)
+        self._make_room()
+        self._frames[page_id] = _Frame(data)
+        return data
+
+    def mark_dirty(self, page_id: int) -> None:
+        frame = self._frames.get(page_id)
+        if frame is None:
+            raise BufferPoolError(f"page {page_id} is not resident")
+        frame.dirty = True
+
+    def put_page(self, page_id: int, data: bytearray) -> None:
+        """Replace the cached contents of ``page_id`` and mark it dirty."""
+        frame = self._frames.get(page_id)
+        if frame is None:
+            self._make_room()
+            self._frames[page_id] = _Frame(data, dirty=True)
+        else:
+            frame.data = data
+            frame.dirty = True
+            self._frames.move_to_end(page_id)
+
+    def free_page(self, page_id: int) -> None:
+        """Drop ``page_id`` from the pool and deallocate it on disk."""
+        self._frames.pop(page_id, None)
+        self.disk.deallocate_page(page_id)
+
+    # -- pinning -------------------------------------------------------------
+
+    def pin(self, page_id: int) -> None:
+        frame = self._frames.get(page_id)
+        if frame is None:
+            self.get_page(page_id)
+            frame = self._frames[page_id]
+        frame.pins += 1
+
+    def unpin(self, page_id: int) -> None:
+        frame = self._frames.get(page_id)
+        if frame is None or frame.pins == 0:
+            raise BufferPoolError(f"page {page_id} is not pinned")
+        frame.pins -= 1
+
+    # -- flushing ------------------------------------------------------------
+
+    def flush_page(self, page_id: int) -> None:
+        frame = self._frames.get(page_id)
+        if frame is not None and frame.dirty:
+            self.disk.write_page(page_id, frame.data)
+            frame.dirty = False
+
+    def flush_all(self) -> None:
+        for page_id in list(self._frames):
+            self.flush_page(page_id)
+
+    def clear(self) -> None:
+        """Flush everything and empty the pool (simulates a cold cache)."""
+        self.flush_all()
+        self._frames.clear()
+
+    # -- internal ------------------------------------------------------------
+
+    def _make_room(self) -> None:
+        while len(self._frames) >= self.capacity:
+            victim_id = None
+            for page_id, frame in self._frames.items():
+                if frame.pins == 0:
+                    victim_id = page_id
+                    break
+            if victim_id is None:
+                raise BufferPoolError("all frames are pinned; cannot evict")
+            frame = self._frames.pop(victim_id)
+            if frame.dirty:
+                self.disk.write_page(victim_id, frame.data)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

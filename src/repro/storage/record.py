@@ -1,0 +1,107 @@
+"""Typed record (row) serialization.
+
+A :class:`RecordCodec` is built from a list of :class:`ValueType` and packs a
+row of Python values into a compact binary record: a null bitmap followed by
+fixed-width numerics and length-prefixed variable fields. This is the on-page
+format used by heap files and catalog tables.
+"""
+
+from __future__ import annotations
+
+import struct
+from enum import Enum
+
+from repro.errors import SchemaError
+
+_U32 = struct.Struct("<I")
+_I64 = struct.Struct("<q")
+_F64 = struct.Struct("<d")
+
+
+class ValueType(Enum):
+    """Column datatypes supported by the engine."""
+
+    INT = "int"
+    FLOAT = "float"
+    TEXT = "text"
+    BOOL = "bool"
+    BLOB = "blob"
+
+    def validate(self, value: object) -> None:
+        """Raise :class:`SchemaError` unless ``value`` fits this type."""
+        if value is None:
+            return
+        ok = {
+            ValueType.INT: lambda v: isinstance(v, int) and not isinstance(v, bool),
+            ValueType.FLOAT: lambda v: isinstance(v, (int, float))
+            and not isinstance(v, bool),
+            ValueType.TEXT: lambda v: isinstance(v, str),
+            ValueType.BOOL: lambda v: isinstance(v, bool),
+            ValueType.BLOB: lambda v: isinstance(v, (bytes, bytearray)),
+        }[self](value)
+        if not ok:
+            raise SchemaError(f"value {value!r} is not a valid {self.value}")
+
+
+class RecordCodec:
+    """Packs/unpacks rows described by a fixed sequence of value types."""
+
+    def __init__(self, types: list[ValueType]):
+        self.types = list(types)
+        self._bitmap_bytes = (len(self.types) + 7) // 8
+
+    def encode(self, values: list[object]) -> bytes:
+        """Serialize ``values`` (one per column, ``None`` allowed) to bytes."""
+        if len(values) != len(self.types):
+            raise SchemaError(
+                f"row has {len(values)} values; schema has {len(self.types)}"
+            )
+        bitmap = bytearray(self._bitmap_bytes)
+        parts: list[bytes] = []
+        for i, (vtype, value) in enumerate(zip(self.types, values)):
+            vtype.validate(value)
+            if value is None:
+                bitmap[i // 8] |= 1 << (i % 8)
+                continue
+            if vtype is ValueType.INT:
+                parts.append(_I64.pack(value))
+            elif vtype is ValueType.FLOAT:
+                parts.append(_F64.pack(float(value)))
+            elif vtype is ValueType.BOOL:
+                parts.append(b"\x01" if value else b"\x00")
+            elif vtype is ValueType.TEXT:
+                raw = value.encode("utf-8")
+                parts.append(_U32.pack(len(raw)) + raw)
+            else:  # BLOB
+                raw = bytes(value)
+                parts.append(_U32.pack(len(raw)) + raw)
+        return bytes(bitmap) + b"".join(parts)
+
+    def decode(self, data: bytes) -> list[object]:
+        """Deserialize bytes produced by :meth:`encode` back into a row."""
+        bitmap = data[: self._bitmap_bytes]
+        pos = self._bitmap_bytes
+        values: list[object] = []
+        for i, vtype in enumerate(self.types):
+            if bitmap[i // 8] & (1 << (i % 8)):
+                values.append(None)
+                continue
+            if vtype is ValueType.INT:
+                values.append(_I64.unpack_from(data, pos)[0])
+                pos += _I64.size
+            elif vtype is ValueType.FLOAT:
+                values.append(_F64.unpack_from(data, pos)[0])
+                pos += _F64.size
+            elif vtype is ValueType.BOOL:
+                values.append(data[pos] == 1)
+                pos += 1
+            else:  # TEXT / BLOB
+                (length,) = _U32.unpack_from(data, pos)
+                pos += _U32.size
+                raw = data[pos:pos + length]
+                pos += length
+                if vtype is ValueType.TEXT:
+                    values.append(raw.decode("utf-8"))
+                else:
+                    values.append(bytes(raw))
+        return values

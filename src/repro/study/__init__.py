@@ -1,0 +1,24 @@
+"""Simulated usability case studies (Figures 2 and 16).
+
+The paper's two 20-student studies cannot be re-run with humans; this
+package models them analytically (see DESIGN.md's substitution table): the
+engine answers what it can automate (timed for real), and every remaining
+manual step charges calibrated per-item reading/sorting/checking time plus
+Bernoulli error rates. The structural claims — automated queries take
+seconds at 100% accuracy, manual post-processing scales with result size
+and accumulates errors — fall out of the model.
+"""
+
+from repro.study.model import (
+    GroupResult,
+    HumanModel,
+    simulate_motivating_study,
+    simulate_usability_study,
+)
+
+__all__ = [
+    "HumanModel",
+    "GroupResult",
+    "simulate_motivating_study",
+    "simulate_usability_study",
+]

@@ -1,0 +1,425 @@
+"""Analytical model of the paper's two usability case studies.
+
+The paper runs each study with 20 students split into two groups and
+reports per-query wall time and accuracy (Figures 2 and 16).  Humans
+cannot be re-run, so the model replays the *structure* of each group's
+workflow over a real generated database:
+
+* every step the group's engine can automate runs as a **real query**
+  against the engine (and is timed for real);
+* every remaining manual step charges calibrated per-item human costs —
+  reading an annotation, judging a tuple, one step of a manual sort — and
+  draws seeded Bernoulli classification errors per annotation.
+
+Calibration.  The constants in :class:`HumanModel` are fitted to the
+paper's reported numbers at the paper's scale:
+
+=======================  =======  ==========================================
+constant                 value    provenance
+=======================  =======  ==========================================
+``write_query_s``        35 s     both groups "including writing the query";
+                                  InsightNotes Q1/Q2 finish in 47 s total
+``read_annotation_s``    1.1 s    Fig 2 Q1: 21 min over ≈1,100 annotations
+``judge_tuple_s``        1.05 s   Fig 16 Q2: 8.1 min over 450 joined tuples
+``sort_tuple_s``         3.1 s    Fig 2/16 Q1: 5.2 min manual sort of 100
+``base_fp``              0.04     per-annotation chance of flagging an
+                                  irrelevant annotation; with a ~20%%
+                                  relevant fraction this yields Fig 2 Q1's
+                                  17%% false positives among reported items
+``base_fn``              0.25     per-annotation chance of missing a
+                                  relevant annotation (Fig 2 Q1's 25%%)
+``fatigue``              0.09     Fig 2 Q2 errors grow toward 0.18/0.34 as
+                                  the number of annotations read doubles
+``infeasible_after_s``   3600 s   tasks past an hour are reported infeasible
+                                  (the paper marks them "---")
+=======================  =======  ==========================================
+
+The structural claims then fall out: fully automated queries answer in
+seconds at 100% accuracy; manual post-processing scales with the number of
+items touched and accumulates errors; and queries whose manual workload
+exceeds an hour are infeasible, exactly the "---" cells of Figures 2/16.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import time
+from dataclasses import dataclass, field
+
+from repro.core.database import Database
+from repro.study.dataset import StudyConfig, build_study_database
+
+_DISEASE_EXPR = (
+    "$.getSummaryObject('ClassBird1').getLabelValue('Disease')"
+)
+
+
+@dataclass
+class HumanModel:
+    """Calibrated human-cost constants (see module docstring)."""
+
+    write_query_s: float = 35.0
+    read_annotation_s: float = 1.1
+    judge_tuple_s: float = 1.05
+    sort_tuple_s: float = 3.1
+    base_fp: float = 0.04
+    base_fn: float = 0.25
+    fatigue: float = 0.09
+    infeasible_after_s: float = 3600.0
+    #: reference item count at which base error rates apply (Fig 2 Q1 scale)
+    reference_items: int = 1100
+
+    def error_rates(self, items_read: int) -> tuple[float, float]:
+        """(false-positive, false-negative) rates after reading
+        ``items_read`` annotations; fatigue grows both logarithmically."""
+        if items_read <= 0:
+            return 0.0, 0.0
+        growth = self.fatigue * math.log(
+            max(1.0, items_read / self.reference_items), 2
+        )
+        fp = min(0.5, self.base_fp * (1.0 + growth) + max(0.0, growth) * 0.0)
+        fn = min(0.6, self.base_fn * (1.0 + growth))
+        return fp, fn
+
+
+@dataclass
+class GroupResult:
+    """One cell of Figure 2 / Figure 16: a group answering one query."""
+
+    group: str
+    query: str
+    qualifying: int
+    human_s: float
+    machine_s: float
+    false_positives: float
+    false_negatives: float
+    feasible: bool = True
+    notes: str = ""
+
+    @property
+    def total_s(self) -> float:
+        return self.human_s + self.machine_s
+
+    @property
+    def accuracy(self) -> float:
+        """1 − (FP+FN)/2, the symmetric accuracy the paper reports as %."""
+        return 1.0 - (self.false_positives + self.false_negatives) / 2.0
+
+    def describe(self) -> str:
+        if not self.feasible:
+            return f"{self.group:>18} {self.query}: infeasible ({self.notes})"
+        return (
+            f"{self.group:>18} {self.query}: {self.total_s:8.1f} s  "
+            f"acc {self.accuracy * 100:5.1f}%  FP {self.false_positives:.0%}"
+            f"  FN {self.false_negatives:.0%}  ({self.qualifying} tuples)"
+        )
+
+
+@dataclass
+class StudyReport:
+    """All group×query cells of one simulated study."""
+
+    title: str
+    results: list[GroupResult] = field(default_factory=list)
+
+    def rows_for(self, query: str) -> list[GroupResult]:
+        return [r for r in self.results if r.query == query]
+
+    def result(self, group: str, query: str) -> GroupResult:
+        for r in self.results:
+            if r.group == group and r.query == query:
+                return r
+        raise KeyError((group, query))
+
+    def __str__(self) -> str:
+        lines = [self.title]
+        lines += [r.describe() for r in self.results]
+        return "\n".join(lines)
+
+
+def _timed(fn):
+    """Run ``fn`` and return (result, elapsed seconds)."""
+    started = time.perf_counter()
+    out = fn()
+    return out, time.perf_counter() - started
+
+
+def _manual_classification(
+    rng: random.Random,
+    model: HumanModel,
+    relevant: int,
+    irrelevant: int,
+) -> tuple[float, float, float]:
+    """A human reads ``relevant + irrelevant`` annotations and flags the
+    relevant ones.  Returns (seconds, fp_rate, fn_rate) with seeded
+    Bernoulli errors at fatigue-adjusted rates."""
+    total = relevant + irrelevant
+    fp_rate, fn_rate = model.error_rates(total)
+    missed = sum(1 for _ in range(relevant) if rng.random() < fn_rate)
+    extra = sum(1 for _ in range(irrelevant) if rng.random() < fp_rate)
+    seconds = total * model.read_annotation_s
+    reported = relevant - missed + extra
+    fp = extra / max(1, reported)  # wrong items among what was reported
+    fn = missed / max(1, relevant)  # relevant items the reader missed
+    return seconds, fp, fn
+
+
+def _result_oids(result) -> list[int]:
+    """Base-table OIDs behind a single-table result's tuples."""
+    return [next(iter(t.provenance.values()))[1] for t in result.tuples]
+
+
+def _annotation_counts(
+    db: Database, table: str, oids: list[int], label: str
+) -> tuple[int, int]:
+    """(relevant, irrelevant) raw-annotation counts over ``oids`` according
+    to the engine's own classifier summaries — the operational ground truth
+    a zoom-in would return."""
+    relevant = 0
+    total = 0
+    for oid in oids:
+        summary_set = db.manager.summary_set_for(table, oid)
+        obj = summary_set.get_summary_object("ClassBird1")
+        if obj is None:
+            continue
+        counts = dict(obj.rep())
+        relevant += counts.get(label, 0)
+        total += sum(counts.values())
+    return relevant, total - relevant
+
+
+def simulate_motivating_study(
+    db: Database | None = None,
+    model: HumanModel | None = None,
+    config: StudyConfig | None = None,
+    seed: int = 7,
+) -> StudyReport:
+    """Figure 2: the InsightNotes group vs. the Raw-Annotations group
+    answering Q1–Q3 of §1.1 over the 100-tuple study database."""
+    model = model or HumanModel()
+    db = db or build_study_database(config)
+    rng = random.Random(seed)
+    report = StudyReport("Figure 2 — motivating usability study")
+
+    # ---- Q1: disease annotations on birds named Swan* --------------------
+    swans, machine = _timed(
+        lambda: db.sql("Select name From birds Where name Like 'Swan%'")
+    )
+    swan_oids = _result_oids(swans)
+    # InsightNotes: one query + one zoom-in per tuple, all automated.
+    _, zoom_s = _timed(
+        lambda: [
+            db.zoom_in("birds", oid, "ClassBird1", "Disease")
+            for oid in swan_oids
+        ]
+    )
+    report.results.append(
+        GroupResult(
+            "InsightNotes", "Q1", len(swans),
+            human_s=model.write_query_s,
+            machine_s=machine + zoom_s,
+            false_positives=0.0, false_negatives=0.0,
+        )
+    )
+    # Raw group: same data query, then read every attached annotation.
+    relevant, irrelevant = _annotation_counts(
+        db, "birds", swan_oids, "Disease"
+    )
+    seconds, fp, fn = _manual_classification(rng, model, relevant, irrelevant)
+    report.results.append(
+        GroupResult(
+            "Raw-Annotations", "Q1", len(swans),
+            human_s=model.write_query_s + seconds,
+            machine_s=machine,
+            false_positives=fp, false_negatives=fn,
+        )
+    )
+
+    # ---- Q2: behavior counts per qualifying family group -----------------
+    family_pred = " Or ".join(
+        f"family = '{f}'" for f in ("Anatidae", "Accipitridae", "Corvidae")
+    )
+    grouped, machine = _timed(
+        lambda: db.sql(
+            "Select family, r.$.getSummaryObject('ClassBird1')."
+            f"getLabelValue('Behavior') b From birds r Where {family_pred} "
+            "Group By family Order By family"
+        )
+    )
+    group_families = [t.get("family") for t in grouped.tuples]
+    report.results.append(
+        GroupResult(
+            "InsightNotes", "Q2", len(grouped),
+            human_s=model.write_query_s,
+            machine_s=machine,
+            false_positives=0.0, false_negatives=0.0,
+        )
+    )
+    # Raw group must read annotations of every tuple in the chosen groups
+    # (aggregation collects annotations from multiple base tuples).
+    member_oids: list[int] = []
+    for family in group_families:
+        members = db.sql(
+            f"Select name From birds Where family = '{family}'"
+        )
+        member_oids += _result_oids(members)
+    relevant, irrelevant = _annotation_counts(
+        db, "birds", member_oids, "Behavior"
+    )
+    seconds, fp, fn = _manual_classification(rng, model, relevant, irrelevant)
+    report.results.append(
+        GroupResult(
+            "Raw-Annotations", "Q2", len(grouped),
+            human_s=model.write_query_s + seconds,
+            machine_s=machine,
+            false_positives=fp, false_negatives=fn,
+        )
+    )
+
+    # ---- Q3: sort all tuples by disease-annotation count -----------------
+    all_birds, machine = _timed(lambda: db.sql("Select name From birds"))
+    n = len(all_birds)
+    # Basic InsightNotes: engine reports summaries but cannot sort by them;
+    # the student sorts n tuples by hand.
+    manual_sort_s = n * model.sort_tuple_s
+    report.results.append(
+        GroupResult(
+            "InsightNotes", "Q3", n,
+            human_s=model.write_query_s + manual_sort_s,
+            machine_s=machine,
+            false_positives=0.0, false_negatives=0.0,
+            notes="manual sort of propagated summaries",
+        )
+    )
+    # Raw group: would have to count disease annotations on every tuple
+    # before sorting.  Feasibility is judged at the paper's full annotation
+    # density: the generated database holds ``scale`` × the paper's 75–380
+    # annotations/tuple, so the paper-scale workload divides by that scale.
+    scale = (config or StudyConfig()).scale
+    relevant, irrelevant = _annotation_counts(
+        db, "birds", _result_oids(all_birds), "Disease"
+    )
+    raw_seconds = (relevant + irrelevant) * model.read_annotation_s
+    raw_seconds += manual_sort_s
+    paper_scale_seconds = raw_seconds / max(scale, 1e-9)
+    report.results.append(
+        GroupResult(
+            "Raw-Annotations", "Q3", n,
+            human_s=model.write_query_s + raw_seconds,
+            machine_s=machine,
+            false_positives=0.0, false_negatives=0.0,
+            feasible=paper_scale_seconds <= model.infeasible_after_s,
+            notes=f"{relevant + irrelevant} annotations to read "
+            f"({round((relevant + irrelevant) / max(scale, 1e-9))} at paper"
+            " scale)",
+        )
+    )
+    return report
+
+
+def simulate_usability_study(
+    db: Database | None = None,
+    model: HumanModel | None = None,
+    config: StudyConfig | None = None,
+    seed: int = 7,
+) -> StudyReport:
+    """Figure 16: basic InsightNotes vs. InsightNotes+ answering the three
+    §6 queries.  The "+" group's queries run fully inside the engine."""
+    model = model or HumanModel()
+    db = db or build_study_database(config)
+    rng = random.Random(seed)
+    report = StudyReport("Figure 16 — usability study (InsightNotes vs. +)")
+
+    # ---- Q1: tuples sorted by disease-annotation count -------------------
+    sorted_birds, machine = _timed(
+        lambda: db.sql(
+            f"Select name From birds r Order By r.{_DISEASE_EXPR} Desc"
+        )
+    )
+    n = len(sorted_birds)
+    report.results.append(
+        GroupResult(
+            "InsightNotes+", "Q1", n,
+            human_s=model.write_query_s, machine_s=machine,
+            false_positives=0.0, false_negatives=0.0,
+        )
+    )
+    plain, machine_basic = _timed(lambda: db.sql("Select name From birds"))
+    report.results.append(
+        GroupResult(
+            "InsightNotes", "Q1", len(plain),
+            human_s=model.write_query_s + n * model.sort_tuple_s,
+            machine_s=machine_basic,
+            false_positives=0.0, false_negatives=0.0,
+            notes="manual sort",
+        )
+    )
+
+    # ---- Q2: revision join, differing disease counts ----------------------
+    joined, machine = _timed(
+        lambda: db.sql(
+            "Select v1.name From birds v1, birds_v2 v2 "
+            "Where v1.bird_id = v2.bird_id And "
+            f"v1.{_DISEASE_EXPR} <> v2.{_DISEASE_EXPR}"
+        )
+    )
+    report.results.append(
+        GroupResult(
+            "InsightNotes+", "Q2", len(joined),
+            human_s=model.write_query_s, machine_s=machine,
+            false_positives=0.0, false_negatives=0.0,
+        )
+    )
+    # Basic group: engine joins on the data predicate only; the student
+    # checks the summary predicate on every joined tuple by hand.
+    data_joined, machine_basic = _timed(
+        lambda: db.sql(
+            "Select v1.name From birds v1, birds_v2 v2 "
+            "Where v1.bird_id = v2.bird_id"
+        )
+    )
+    report.results.append(
+        GroupResult(
+            "InsightNotes", "Q2", len(joined),
+            human_s=model.write_query_s
+            + len(data_joined) * model.judge_tuple_s,
+            machine_s=machine_basic,
+            false_positives=0.0, false_negatives=0.0,
+            notes=f"manual check of {len(data_joined)} joined tuples",
+        )
+    )
+
+    # ---- Q3: summary-based selection --------------------------------------
+    selected, machine = _timed(
+        lambda: db.sql(
+            f"Select name From birds r Where r.{_DISEASE_EXPR} > 3"
+        )
+    )
+    report.results.append(
+        GroupResult(
+            "InsightNotes+", "Q3", len(selected),
+            human_s=model.write_query_s, machine_s=machine,
+            false_positives=0.0, false_negatives=0.0,
+        )
+    )
+    # Basic group: all tuples come back; manually selecting from them is
+    # infeasible at the paper's 45,000-tuple scale (and flagged as such
+    # whenever the manual workload passes the infeasibility threshold).
+    everything, machine_basic = _timed(lambda: db.sql("Select name From birds"))
+    manual_s = len(everything) * model.judge_tuple_s
+    paper_scale_manual_s = 45_000 * model.judge_tuple_s
+    report.results.append(
+        GroupResult(
+            "InsightNotes", "Q3", len(selected),
+            human_s=model.write_query_s + manual_s,
+            machine_s=machine_basic,
+            false_positives=0.0, false_negatives=0.0,
+            feasible=paper_scale_manual_s <= model.infeasible_after_s,
+            notes=f"{len(everything)} tuples reported for manual selection"
+            " (45,000 at paper scale)",
+        )
+    )
+    # Keep the rng threaded through for future error-bearing branches.
+    del rng
+    return report

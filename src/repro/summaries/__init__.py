@@ -1,0 +1,32 @@
+"""Annotation summaries: objects, instances, storage, and maintenance.
+
+This package implements the InsightNotes data model of §2: each data tuple
+carries a set of summary objects (Classifier, Snippet, Cluster), created and
+incrementally maintained from the raw annotations, stored de-normalized in a
+per-table SummaryStorage catalog table, and manipulated at query time by the
+propagation algebra (projection elimination, merge under join/aggregation).
+"""
+
+from repro.summaries.objects import (
+    ClassifierObject,
+    ClusterObject,
+    SnippetObject,
+    SummaryObject,
+    SummaryType,
+)
+from repro.summaries.instances import SummaryInstance
+from repro.summaries.storage import SummaryStorage
+from repro.summaries.functions import SummarySet
+from repro.summaries.maintenance import SummaryManager
+
+__all__ = [
+    "SummaryType",
+    "SummaryObject",
+    "ClassifierObject",
+    "SnippetObject",
+    "ClusterObject",
+    "SummaryInstance",
+    "SummaryStorage",
+    "SummarySet",
+    "SummaryManager",
+]

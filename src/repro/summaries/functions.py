@@ -1,0 +1,103 @@
+"""The ``$`` variable: tuple-level summary-set manipulation functions (§3.1).
+
+At query time every tuple ``r`` exposes ``r.$`` — the set of summary objects
+attached to it. :class:`SummarySet` implements the paper's summary-set
+interface functions and is what summary-based predicates and UDFs receive.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.errors import SummaryError
+from repro.summaries.objects import SummaryObject, SummaryType
+
+
+class SummarySet:
+    """The set of summary objects attached to one (runtime) tuple."""
+
+    def __init__(self, objects: dict[str, SummaryObject] | None = None):
+        self._objects: dict[str, SummaryObject] = dict(objects or {})
+
+    # -- paper interface ($-functions) -------------------------------------------
+
+    def get_size(self) -> int:
+        """$.getSize() — number of summary objects in the set."""
+        return len(self._objects)
+
+    def get_summary_object(self, key: str | int) -> SummaryObject | None:
+        """$.getSummaryObject(InstName | i).
+
+        By name: returns the object of that summary instance, or None. By
+        position: returns the i-th object (set order is not semantically
+        meaningful; positional access exists for UDF iteration).
+        """
+        if isinstance(key, int):
+            ordered = self.objects()
+            if not 0 <= key < len(ordered):
+                return None
+            return ordered[key]
+        return self._objects.get(key)
+
+    # -- engine-side helpers --------------------------------------------------------
+
+    def objects(self) -> list[SummaryObject]:
+        """Objects in a stable (instance-name) order."""
+        return [self._objects[k] for k in sorted(self._objects)]
+
+    def instance_names(self) -> list[str]:
+        return sorted(self._objects)
+
+    def __iter__(self) -> Iterator[SummaryObject]:
+        return iter(self.objects())
+
+    def __len__(self) -> int:
+        return len(self._objects)
+
+    def __contains__(self, instance_name: str) -> bool:
+        return instance_name in self._objects
+
+    def require(self, instance_name: str) -> SummaryObject:
+        obj = self._objects.get(instance_name)
+        if obj is None:
+            raise SummaryError(f"no summary object for instance {instance_name!r}")
+        return obj
+
+    def add(self, obj: SummaryObject) -> None:
+        self._objects[obj.instance_name] = obj
+
+    def remove(self, instance_name: str) -> None:
+        self._objects.pop(instance_name, None)
+
+    def copy(self) -> "SummarySet":
+        return SummarySet({k: v.copy() for k, v in self._objects.items()})
+
+    def filter(self, predicate) -> "SummarySet":
+        """New set keeping only objects where ``predicate(obj)`` is True —
+        the object-level projection the F operator performs."""
+        return SummarySet(
+            {k: v for k, v in self._objects.items() if predicate(v)}
+        )
+
+    def of_type(self, stype: SummaryType) -> list[SummaryObject]:
+        return [o for o in self.objects() if o.summary_type is stype]
+
+    def project_to_columns(self, retained: set[str]) -> None:
+        """Eliminate the effect of annotations on projected-out columns from
+        every object in the set (§2.2 step 1)."""
+        for obj in self._objects.values():
+            obj.project_to_columns(retained)
+
+    def merge(self, other: "SummarySet") -> None:
+        """Merge ``other`` into this set (join/aggregation semantics):
+        objects of instances present on both sides merge with annotation
+        dedup; instance objects present on one side propagate unchanged."""
+        for name, obj in other._objects.items():
+            if name in self._objects:
+                self._objects[name].merge(obj)
+            else:
+                self._objects[name] = obj.copy()
+
+    def to_display(self) -> dict[str, list]:
+        """Instance -> Rep[] — what end-users see propagated (§2.1)."""
+        return {name: self._objects[name].rep() for name in sorted(self._objects)}

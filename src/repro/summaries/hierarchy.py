@@ -1,0 +1,198 @@
+"""Multi-level (hierarchical) summarization — the paper's stated future
+work (§8: "enable multi-level (hierarchical) summarization, and extend the
+querying mechanisms over the multi-level model").
+
+A :class:`LabelTree` arranges a classifier instance's labels into a
+hierarchy: the leaves are the Naive-Bayes classes every annotation is
+assigned to, inner nodes are roll-up categories.  Example::
+
+    tree = LabelTree({
+        "Health":  {"Disease": {}, "Injury": {}},
+        "Ecology": {"Behavior": {}, "Habitat": {}},
+        "Other":   {},
+    })
+
+A :class:`HierarchicalClassifierInstance` stores exactly what a flat
+classifier stores — leaf-label counts in the summary objects, leaf keys in
+the Summary-BTree — so storage, maintenance, and index structures are
+untouched.  The hierarchy changes the *query surface*:
+
+* ``getLabelValue('Health')`` in any predicate/sort resolves an inner node
+  by summing its subtree's leaf counts (dispatched through the instance
+  registry at evaluation time),
+* ``ZOOM IN`` on an inner node unions the children's raw annotations —
+  zooming one level at a time walks the hierarchy down to the raw text,
+* the Summary-BTree remains valid for *leaf* predicates only; the planner
+  checks leaf membership before matching an index (an inner-node predicate
+  silently falls back to a scan).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SummaryError
+from repro.summaries.instances import ClassifierInstance
+from repro.summaries.objects import ClassifierObject
+
+
+class LabelTree:
+    """An immutable multi-level label hierarchy.
+
+    Built from nested dicts (``{} `` marks a leaf).  Node names must be
+    unique across the whole tree — they share one namespace in queries.
+    """
+
+    def __init__(self, spec: dict[str, dict]):
+        if not spec:
+            raise SummaryError("label tree needs at least one node")
+        self._children: dict[str, list[str]] = {}
+        self._parent: dict[str, str | None] = {}
+        self._roots: list[str] = []
+        self._walk_spec(spec, None)
+
+    def _walk_spec(self, spec: dict[str, dict], parent: str | None) -> None:
+        for name, sub in spec.items():
+            if name in self._parent:
+                raise SummaryError(f"duplicate label {name!r} in hierarchy")
+            self._parent[name] = parent
+            self._children[name] = []
+            if parent is None:
+                self._roots.append(name)
+            else:
+                self._children[parent].append(name)
+            if sub:
+                self._walk_spec(sub, name)
+
+    # -- structure -------------------------------------------------------------
+
+    @property
+    def roots(self) -> list[str]:
+        return list(self._roots)
+
+    def nodes(self) -> list[str]:
+        return list(self._parent)
+
+    def leaves(self, node: str | None = None) -> list[str]:
+        """Leaf labels under ``node`` (whole tree when None), in spec
+        order — these are the classifier's actual classes."""
+        starts = [node] if node is not None else self._roots
+        out: list[str] = []
+        stack = list(reversed(starts))
+        while stack:
+            current = stack.pop()
+            children = self._children.get(current)
+            if children is None:
+                raise SummaryError(f"no label {current!r} in hierarchy")
+            if not children:
+                out.append(current)
+            else:
+                stack.extend(reversed(children))
+        return out
+
+    def children(self, node: str) -> list[str]:
+        if node not in self._children:
+            raise SummaryError(f"no label {node!r} in hierarchy")
+        return list(self._children[node])
+
+    def parent(self, node: str) -> str | None:
+        if node not in self._parent:
+            raise SummaryError(f"no label {node!r} in hierarchy")
+        return self._parent[node]
+
+    def is_leaf(self, node: str) -> bool:
+        return node in self._children and not self._children[node]
+
+    def __contains__(self, node: str) -> bool:
+        return node in self._parent
+
+    def level_of(self, node: str) -> int:
+        """Depth from the root level (roots are level 0)."""
+        depth = 0
+        current = self.parent(node)
+        while current is not None:
+            depth += 1
+            current = self._parent[current]
+        return depth
+
+    def path_to(self, node: str) -> list[str]:
+        """Root-to-node path, e.g. ['Health', 'Disease']."""
+        path = [node]
+        current = self.parent(node)
+        while current is not None:
+            path.append(current)
+            current = self._parent[current]
+        return list(reversed(path))
+
+    def to_spec(self) -> dict[str, dict]:
+        """The nested-dict form the tree was built from."""
+
+        def build(name: str) -> dict:
+            return {c: build(c) for c in self._children[name]}
+
+        return {r: build(r) for r in self._roots}
+
+
+@dataclass
+class HierarchicalClassifierInstance(ClassifierInstance):
+    """A classifier instance whose labels form a multi-level hierarchy.
+
+    The Naive Bayes model classifies to *leaves*; every non-leaf query
+    surface (predicates, sorts, zooms) rolls leaf counts/elements up the
+    tree at evaluation time.
+    """
+
+    tree: LabelTree = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.tree is None:
+            raise SummaryError(
+                f"hierarchical instance {self.name!r} needs a LabelTree"
+            )
+        if not self.labels:
+            self.labels = self.tree.leaves()
+        elif self.labels != self.tree.leaves():
+            raise SummaryError(
+                "labels must be the hierarchy's leaves, in order"
+            )
+        super().__post_init__()
+
+    # -- roll-up query surface ---------------------------------------------------
+
+    def resolve_value(self, obj: ClassifierObject, node: str) -> int:
+        """Count for any hierarchy node: a leaf's stored count, or the sum
+        over an inner node's subtree leaves."""
+        if self.tree.is_leaf(node) if node in self.tree else False:
+            return obj.get_label_value(node)
+        if node not in self.tree:
+            raise SummaryError(
+                f"no label {node!r} in hierarchical instance {self.name!r}"
+            )
+        return sum(obj.get_label_value(leaf) for leaf in self.tree.leaves(node))
+
+    def resolve_elements(self, obj: ClassifierObject, node: str) -> list[int]:
+        """Contributing annotation ids for any node (zoom-in support)."""
+        if node not in self.tree:
+            raise SummaryError(
+                f"no label {node!r} in hierarchical instance {self.name!r}"
+            )
+        ids: set[int] = set()
+        for leaf in self.tree.leaves(node):
+            ids |= obj.label_elements.get(leaf, set())
+        return sorted(ids)
+
+    def rollup(self, obj: ClassifierObject, level: int = 0) -> list[tuple[str, int]]:
+        """Rep[]-style view at one hierarchy level: [(node, count)] for
+        every node whose depth is ``level`` (deeper leaves attach to their
+        closest ancestor at or above the level)."""
+        out: list[tuple[str, int]] = []
+        frontier = [(r, 0) for r in self.tree.roots]
+        while frontier:
+            node, depth = frontier.pop(0)
+            if depth == level or self.tree.is_leaf(node):
+                out.append((node, self.resolve_value(obj, node)))
+            else:
+                frontier.extend(
+                    (c, depth + 1) for c in self.tree.children(node)
+                )
+        return out

@@ -1,0 +1,501 @@
+"""Incremental summary maintenance (§2 + §4.1.2).
+
+:class:`SummaryManager` owns the summary-instance registry, the per-table
+``R_SummaryStorage`` tables, the per-tuple CluStream states, and the
+annotation store. Every annotation mutation flows through it:
+
+* **Adding an annotation on an un-annotated tuple** creates the tuple's
+  storage row (the paper's *Insertion* case) and notifies index observers
+  with the fresh classifier objects.
+* **Adding on an already-annotated tuple** updates the affected summary
+  objects in place (*Update* case); observers receive old/new label counts
+  so a Summary-BTree can delete+re-insert only the modified keys.
+* **Deleting an annotation / a tuple** reverses those effects.
+
+Index structures and optimizer statistics both subscribe through the same
+observer interface, matching the paper's "statistics are maintained whenever
+a summary object is updated" (§5.2).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Protocol
+
+from repro.annotations.annotation import Annotation, AnnotationTarget
+from repro.annotations.store import AnnotationStore
+from repro.errors import SummaryError, UnknownInstanceError
+from repro.mining.clustream import CluStream
+from repro.storage.buffer import BufferPool
+from repro.summaries.functions import SummarySet
+from repro.summaries.instances import (
+    ClassifierInstance,
+    ClusterInstance,
+    SnippetInstance,
+    SummaryInstance,
+)
+from repro.summaries.objects import (
+    ClassifierObject,
+    ClusterGroup,
+    ClusterObject,
+    SnippetObject,
+    SummaryObject,
+)
+from repro.summaries.storage import SummaryStorage
+
+
+class SummaryObserver(Protocol):
+    """Observer notified of classifier summary-object changes."""
+
+    def on_summary_insert(self, oid: int, obj: ClassifierObject) -> None:
+        """A new storage row was created carrying ``obj``."""
+
+    def on_summary_update(
+        self, oid: int, old_counts: dict[str, int], new_counts: dict[str, int]
+    ) -> None:
+        """An existing classifier object changed label counts."""
+
+    def on_tuple_delete(self, oid: int, counts: dict[str, int]) -> None:
+        """The tuple (and its summary row) was deleted."""
+
+
+class SummaryManager:
+    """The summary subsystem's single entry point."""
+
+    def __init__(self, pool: BufferPool):
+        self._cell_annotated: set[str] = set()
+        #: black-box summary-set UDFs (§3.2): name -> callable(SummarySet)
+        self.udfs: dict[str, object] = {}
+        self.pool = pool
+        self.annotations = AnnotationStore(pool)
+        self._instances: dict[str, SummaryInstance] = {}
+        self._links: dict[str, list[str]] = defaultdict(list)  # table -> names
+        self._storages: dict[str, SummaryStorage] = {}
+        self._clusterers: dict[tuple[str, int, str], CluStream] = {}
+        #: (table, instance) -> observers
+        self._observers: dict[tuple[str, str], list[SummaryObserver]] = defaultdict(list)
+
+    # -- instance registry ---------------------------------------------------------
+
+    def create_classifier_instance(
+        self,
+        name: str,
+        labels: list[str],
+        seed_examples: list[tuple[str, str]] | None = None,
+    ) -> ClassifierInstance:
+        """Define a Classifier summary instance and seed-train its model."""
+        instance = ClassifierInstance(name=name, labels=list(labels))
+        if seed_examples:
+            instance.train(seed_examples)
+        self._register(instance)
+        return instance
+
+    def create_hierarchical_classifier_instance(
+        self,
+        name: str,
+        tree_spec: dict,
+        seed_examples: list[tuple[str, str]] | None = None,
+    ):
+        """Define a multi-level Classifier instance (future-work §8): the
+        Naive Bayes model classifies to the hierarchy's leaves; inner nodes
+        roll up at query time."""
+        from repro.summaries.hierarchy import (
+            HierarchicalClassifierInstance,
+            LabelTree,
+        )
+
+        tree = tree_spec if isinstance(tree_spec, LabelTree) else LabelTree(tree_spec)
+        instance = HierarchicalClassifierInstance(
+            name=name, labels=tree.leaves(), tree=tree
+        )
+        if seed_examples:
+            instance.train(seed_examples)
+        self._register(instance)
+        return instance
+
+    def create_snippet_instance(
+        self, name: str, min_chars: int = 1000, max_chars: int = 400
+    ) -> SnippetInstance:
+        """Define a Snippet summary instance."""
+        instance = SnippetInstance(name=name, min_chars=min_chars, max_chars=max_chars)
+        self._register(instance)
+        return instance
+
+    def create_cluster_instance(self, name: str, **kwargs) -> ClusterInstance:
+        """Define a Cluster summary instance."""
+        instance = ClusterInstance(name=name, **kwargs)
+        self._register(instance)
+        return instance
+
+    def _register(self, instance: SummaryInstance) -> None:
+        if instance.name in self._instances:
+            raise SummaryError(f"summary instance {instance.name!r} already exists")
+        self._instances[instance.name] = instance
+
+    def instance(self, name: str) -> SummaryInstance:
+        if name not in self._instances:
+            raise UnknownInstanceError(f"no summary instance named {name!r}")
+        return self._instances[name]
+
+    def has_instance(self, name: str) -> bool:
+        return name in self._instances
+
+    # -- table links (Alter Table ... Add <InstanceName>) -----------------------------
+
+    def link(self, table: str, instance_name: str) -> None:
+        """Link a summary instance to a relation (§2.1)."""
+        self.instance(instance_name)  # validate
+        table = table.lower()
+        if instance_name in self._links[table]:
+            raise SummaryError(
+                f"instance {instance_name!r} already linked to {table!r}"
+            )
+        self._links[table].append(instance_name)
+
+    def unlink(self, table: str, instance_name: str) -> None:
+        """Drop the link (Alter Table ... Drop <InstanceName>)."""
+        table = table.lower()
+        if instance_name not in self._links[table]:
+            raise SummaryError(f"instance {instance_name!r} not linked to {table!r}")
+        self._links[table].remove(instance_name)
+
+    def instances_for(self, table: str) -> list[SummaryInstance]:
+        return [self._instances[n] for n in self._links[table.lower()]]
+
+    def is_linked(self, table: str, instance_name: str) -> bool:
+        return instance_name in self._links[table.lower()]
+
+    def tables_with_instance(self, instance_name: str) -> list[str]:
+        return [t for t, names in self._links.items() if instance_name in names]
+
+    def storage_for(self, table: str) -> SummaryStorage:
+        table = table.lower()
+        if table not in self._storages:
+            self._storages[table] = SummaryStorage(table, self.pool)
+        return self._storages[table]
+
+    # -- observers ----------------------------------------------------------------
+
+    def add_observer(
+        self, table: str, instance_name: str, observer: SummaryObserver
+    ) -> None:
+        self._observers[(table.lower(), instance_name)].append(observer)
+
+    def remove_observer(
+        self, table: str, instance_name: str, observer: SummaryObserver
+    ) -> None:
+        self._observers[(table.lower(), instance_name)].remove(observer)
+
+    def _notify(self, table: str, instance_name: str, method: str, *args) -> None:
+        for observer in self._observers.get((table.lower(), instance_name), []):
+            getattr(observer, method)(*args)
+
+    # -- annotation mutations ----------------------------------------------------------
+
+    def register_udf(self, name: str, fn) -> None:
+        """Register a black-box UDF usable in summary predicates (§3.2),
+        e.g. ``Where diseaseHeavy(r.$)``.  ``fn`` receives the evaluated
+        arguments (a bare ``alias.$`` evaluates to the SummarySet)."""
+        self.udfs[name] = fn
+
+    def has_cell_annotations(self, table: str) -> bool:
+        """True when any annotation ever targeted specific columns of
+        ``table``.  The planner's summary-index side condition: when False,
+        projection-time annotation elimination is a no-op on classifier
+        counts, so index probes (which see stored counts) stay equivalent
+        to scan plans."""
+        return table.lower() in self._cell_annotated
+
+    def _record_targets(self, targets: list[AnnotationTarget]) -> None:
+        for target in targets:
+            if target.columns:
+                self._cell_annotated.add(target.table.lower())
+
+    def add_annotation(
+        self, text: str, targets: list[AnnotationTarget]
+    ) -> Annotation:
+        """Store a raw annotation and incrementally update every summary
+        object it affects."""
+        self._record_targets(targets)
+        annotation = self.annotations.create(text, targets)
+        for table, oid in self._affected_tuples(annotation):
+            self._apply_to_tuple(annotation, table, oid)
+        return annotation
+
+    def add_annotations_bulk(
+        self, items: list[tuple[str, list[AnnotationTarget]]]
+    ) -> list[Annotation]:
+        """Bulk-load many annotations (initial-upload mode, §6).
+
+        Summary objects are written back once per affected tuple instead of
+        once per annotation; observers see one consolidated event per tuple.
+        """
+        for _text, targets in items:
+            self._record_targets(targets)
+        annotations = [self.annotations.create(t, targets) for t, targets in items]
+        grouped: dict[tuple[str, int], list[Annotation]] = {}
+        for annotation in annotations:
+            for key in self._affected_tuples(annotation):
+                grouped.setdefault(key, []).append(annotation)
+        for (table, oid), batch in grouped.items():
+            self._apply_batch_to_tuple(batch, table, oid)
+        return annotations
+
+    def _apply_batch_to_tuple(
+        self, batch: list[Annotation], table: str, oid: int
+    ) -> None:
+        instances = self.instances_for(table)
+        if not instances:
+            return
+        storage = self.storage_for(table)
+        objects = storage.get(oid)
+        created_row = objects is None
+        if objects is None:
+            objects = {}
+        old_counts: dict[str, dict[str, int] | None] = {}
+        for instance in instances:
+            obj = objects.get(instance.name)
+            if obj is None:
+                old_counts[instance.name] = None
+                objects[instance.name] = instance.new_object(oid)
+            elif isinstance(obj, ClassifierObject):
+                old_counts[instance.name] = dict(obj.rep())
+        for annotation in batch:
+            columns = annotation.columns_on(table, oid)
+            for instance in instances:
+                obj = objects[instance.name]
+                if isinstance(instance, ClassifierInstance):
+                    assert isinstance(obj, ClassifierObject)
+                    label = instance.classify(annotation.text)
+                    obj.add_annotation(annotation.ann_id, label, columns)
+                elif isinstance(instance, SnippetInstance):
+                    assert isinstance(obj, SnippetObject)
+                    obj.add_annotation(
+                        annotation.ann_id, columns,
+                        instance.snippet_for(annotation.text),
+                    )
+                else:
+                    assert isinstance(instance, ClusterInstance)
+                    clusterer = self._clusterer_for(table, oid, instance, objects)
+                    clusterer.insert(annotation.ann_id, annotation.text)
+                    obj.ann_targets[annotation.ann_id] = columns
+        for instance in instances:
+            if isinstance(instance, ClusterInstance):
+                clusterer = self._clusterers.get((table, oid, instance.name))
+                if clusterer is not None:
+                    self._rebuild_cluster_object(
+                        objects[instance.name], clusterer  # type: ignore[arg-type]
+                    )
+        storage.put(oid, objects)
+        self._notify(table, "*", "on_objects_write", oid, objects)
+        for instance in instances:
+            if not isinstance(instance, ClassifierInstance):
+                continue
+            obj = objects[instance.name]
+            assert isinstance(obj, ClassifierObject)
+            previous = old_counts.get(instance.name)
+            if created_row or previous is None:
+                self._notify(table, instance.name, "on_summary_insert", oid, obj)
+            else:
+                self._notify(
+                    table, instance.name, "on_summary_update", oid, previous,
+                    dict(obj.rep()),
+                )
+
+    def delete_annotation(self, ann_id: int) -> None:
+        """Remove a raw annotation and subtract its effects (§4.1.2)."""
+        annotation = self.annotations.delete(ann_id)
+        for table, oid in self._affected_tuples(annotation):
+            self._remove_from_tuple(annotation, table, oid)
+
+    def on_tuple_delete(self, table: str, oid: int) -> None:
+        """The data tuple is gone: drop its summary row and index entries."""
+        table = table.lower()
+        storage = self.storage_for(table)
+        objects = storage.get(oid)
+        if objects is None:
+            return
+        for name, obj in objects.items():
+            if isinstance(obj, ClassifierObject):
+                self._notify(table, name, "on_tuple_delete", oid,
+                             dict(obj.rep()))
+            self._clusterers.pop((table, oid, name), None)
+        storage.delete(oid)
+        self._notify(table, "*", "on_objects_delete", oid)
+
+    # -- reads -------------------------------------------------------------------------
+
+    def summary_set_for(self, table: str, oid: int) -> SummarySet:
+        """The stored summary objects of one tuple as a :class:`SummarySet`.
+
+        Objects are deserialized copies; callers may mutate them freely.
+        """
+        objects = self.storage_for(table).get(oid)
+        return SummarySet(objects or {})
+
+    def raw_texts_for(self, table: str, oid: int) -> list[str]:
+        """Raw texts of every annotation attached to a tuple (keyword-search
+        fallback of §3.1)."""
+        objects = self.storage_for(table).get(oid)
+        if not objects:
+            return []
+        ann_ids: set[int] = set()
+        for obj in objects.values():
+            ann_ids |= obj.all_annotation_ids()
+        return self.annotations.texts(sorted(ann_ids))
+
+    def zoom_in(
+        self, table: str, oid: int, instance_name: str,
+        selector: str | int | None = None,
+    ) -> list[str]:
+        """Zoom-in: raw annotation texts behind a summary (or one of its
+        representatives).
+
+        ``selector`` is a class label for Classifier objects, a Rep[]
+        position for Snippet/Cluster objects, or None for everything.
+        """
+        objects = self.storage_for(table).get(oid)
+        if not objects or instance_name not in objects:
+            return []
+        obj = objects[instance_name]
+        if selector is None:
+            ann_ids = sorted(obj.all_annotation_ids())
+        elif isinstance(obj, ClassifierObject) and isinstance(selector, str):
+            if selector not in obj.label_elements:
+                from repro.summaries.hierarchy import (
+                    HierarchicalClassifierInstance,
+                )
+
+                instance = self._instances.get(instance_name)
+                if isinstance(instance, HierarchicalClassifierInstance) \
+                        and selector in instance.tree:
+                    # Multi-level zoom: an inner node unions its subtree.
+                    ann_ids = instance.resolve_elements(obj, selector)
+                    return self.annotations.texts(ann_ids)
+                raise SummaryError(f"no label {selector!r} on {instance_name!r}")
+            ann_ids = sorted(obj.label_elements[selector])
+        elif isinstance(selector, int):
+            element_lists = obj.elements()
+            if not 0 <= selector < len(element_lists):
+                raise SummaryError(f"representative {selector} out of range")
+            ann_ids = element_lists[selector]
+        else:
+            raise SummaryError(f"bad zoom selector {selector!r}")
+        return self.annotations.texts(ann_ids)
+
+    # -- internals -----------------------------------------------------------------------
+
+    @staticmethod
+    def _affected_tuples(annotation: Annotation) -> list[tuple[str, int]]:
+        seen: list[tuple[str, int]] = []
+        for target in annotation.targets:
+            key = (target.table.lower(), target.oid)
+            if key not in seen:
+                seen.append(key)
+        return seen
+
+    def _apply_to_tuple(self, annotation: Annotation, table: str, oid: int) -> None:
+        instances = self.instances_for(table)
+        if not instances:
+            return
+        storage = self.storage_for(table)
+        objects = storage.get(oid)
+        created_row = objects is None
+        if objects is None:
+            objects = {}
+        columns = annotation.columns_on(table, oid)
+        updates: list[tuple[str, dict[str, int] | None, ClassifierObject]] = []
+        for instance in instances:
+            obj = objects.get(instance.name)
+            fresh = obj is None
+            if obj is None:
+                obj = instance.new_object(oid)
+                objects[instance.name] = obj
+            if isinstance(instance, ClassifierInstance):
+                assert isinstance(obj, ClassifierObject)
+                old_counts = None if fresh else dict(obj.rep())
+                label = instance.classify(annotation.text)
+                obj.add_annotation(annotation.ann_id, label, columns)
+                updates.append((instance.name, old_counts, obj))
+            elif isinstance(instance, SnippetInstance):
+                assert isinstance(obj, SnippetObject)
+                obj.add_annotation(
+                    annotation.ann_id, columns, instance.snippet_for(annotation.text)
+                )
+            else:
+                assert isinstance(instance, ClusterInstance)
+                clusterer = self._clusterer_for(table, oid, instance, objects)
+                clusterer.insert(annotation.ann_id, annotation.text)
+                self._rebuild_cluster_object(obj, clusterer)  # type: ignore[arg-type]
+                obj.ann_targets[annotation.ann_id] = columns
+        storage.put(oid, objects)
+        self._notify(table, "*", "on_objects_write", oid, objects)
+        for name, old_counts, obj in updates:
+            if created_row or old_counts is None:
+                self._notify(table, name, "on_summary_insert", oid, obj)
+            else:
+                self._notify(
+                    table, name, "on_summary_update", oid, old_counts,
+                    dict(obj.rep()),
+                )
+
+    def _remove_from_tuple(self, annotation: Annotation, table: str, oid: int) -> None:
+        storage = self.storage_for(table)
+        objects = storage.get(oid)
+        if objects is None:
+            return
+        ann_id = annotation.ann_id
+        for name, obj in objects.items():
+            if isinstance(obj, ClassifierObject):
+                if ann_id not in obj.all_annotation_ids():
+                    continue
+                old_counts = dict(obj.rep())
+                obj.remove_annotations({ann_id})
+                self._notify(
+                    table, name, "on_summary_update", oid, old_counts,
+                    dict(obj.rep()),
+                )
+            elif isinstance(obj, ClusterObject):
+                key = (table, oid, name)
+                clusterer = self._clusterers.get(key)
+                if clusterer is not None and clusterer.cluster_of(ann_id):
+                    clusterer.remove(ann_id)
+                    self._rebuild_cluster_object(obj, clusterer)
+                else:
+                    obj.remove_annotations({ann_id})
+                obj.ann_targets.pop(ann_id, None)
+            else:
+                obj.remove_annotations({ann_id})
+        storage.put(oid, objects)
+        self._notify(table, "*", "on_objects_write", oid, objects)
+
+    def _clusterer_for(
+        self,
+        table: str,
+        oid: int,
+        instance: ClusterInstance,
+        objects: dict[str, SummaryObject],
+    ) -> CluStream:
+        key = (table, oid, instance.name)
+        clusterer = self._clusterers.get(key)
+        if clusterer is None:
+            clusterer = instance.new_clusterer()
+            existing = objects.get(instance.name)
+            if isinstance(existing, ClusterObject) and existing.groups:
+                # Rebuild in-memory state from the raw annotations (e.g.
+                # after the engine restarts or the state was evicted).
+                for group in existing.groups:
+                    for member in sorted(group.members):
+                        clusterer.insert(
+                            member, self.annotations.get(member).text
+                        )
+            self._clusterers[key] = clusterer
+        return clusterer
+
+    @staticmethod
+    def _rebuild_cluster_object(obj: ClusterObject, clusterer: CluStream) -> None:
+        obj.groups = [
+            ClusterGroup(rep_id, set(members),
+                         {m: clusterer.cluster_of(m).excerpts[m] for m in members})
+            for (rep_id, _), _, members in clusterer.groups()
+        ]

@@ -1,0 +1,115 @@
+"""De-normalized summary-object storage (§4, Figure 4(b)).
+
+For each user relation ``R`` the engine keeps a catalog table
+``R_SummaryStorage`` with exactly one row per annotated data tuple, holding
+*all* of that tuple's summary objects in serialized (de-normalized) form.
+The two properties the paper calls out both hold here:
+
+1. queries over ``R`` alone never touch summary pages, and
+2. propagation reads one storage row per tuple — no re-construction joins.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import Iterator
+
+from repro.btree import BTree
+from repro.catalog.keys import decode_int, encode_int
+from repro.errors import RecordNotFoundError
+from repro.storage.buffer import BufferPool
+from repro.storage.heapfile import HeapFile, RID
+from repro.summaries.objects import SummaryObject
+
+
+class SummaryStorage:
+    """One table's ``R_SummaryStorage``: OID -> {instance -> SummaryObject}."""
+
+    def __init__(self, table_name: str, pool: BufferPool):
+        self.table_name = table_name
+        self.pool = pool
+        self.heap = HeapFile(pool)
+        #: OID -> heap RID of the tuple's summary row.
+        self.oid_index = BTree(pool, unique=True)
+
+    def __len__(self) -> int:
+        return len(self.heap)
+
+    @property
+    def num_pages(self) -> int:
+        """Heap pages used (Figure 7's storage-overhead metric)."""
+        return self.heap.num_pages
+
+    # -- encoding ----------------------------------------------------------------
+
+    @staticmethod
+    def _encode(objects: dict[str, SummaryObject]) -> bytes:
+        payload = [obj.to_dict() for obj in objects.values()]
+        return json.dumps(payload, separators=(",", ":")).encode("utf-8")
+
+    @staticmethod
+    def _decode(data: bytes) -> dict[str, SummaryObject]:
+        objects = [SummaryObject.from_dict(d) for d in json.loads(data)]
+        return {obj.instance_name: obj for obj in objects}
+
+    # -- operations ----------------------------------------------------------------
+
+    def _rid_for(self, oid: int) -> RID | None:
+        hits = self.oid_index.search(encode_int(oid))
+        if not hits:
+            return None
+        page_no, slot = struct.unpack("<IH", hits[0])
+        return RID(page_no, slot)
+
+    def get(self, oid: int) -> dict[str, SummaryObject] | None:
+        """All summary objects of tuple ``oid`` (None when un-annotated)."""
+        rid = self._rid_for(oid)
+        if rid is None:
+            return None
+        return self._decode(self.heap.read(rid))
+
+    def put(self, oid: int, objects: dict[str, SummaryObject]) -> bool:
+        """Insert or replace the summary row of ``oid``.
+
+        Returns True when this created a *new* storage row (the paper's
+        "Adding Annotation — Insertion" case) and False on update.
+        """
+        record = self._encode(objects)
+        rid = self._rid_for(oid)
+        if rid is None:
+            new_rid = self.heap.insert(record)
+            self.oid_index.insert(
+                encode_int(oid), struct.pack("<IH", new_rid.page_no, new_rid.slot)
+            )
+            return True
+        new_rid = self.heap.update(rid, record)
+        if new_rid != rid:
+            self.oid_index.delete(
+                encode_int(oid), struct.pack("<IH", rid.page_no, rid.slot)
+            )
+            self.oid_index.insert(
+                encode_int(oid), struct.pack("<IH", new_rid.page_no, new_rid.slot)
+            )
+        return False
+
+    def delete(self, oid: int) -> None:
+        """Drop the summary row of ``oid`` (tuple deletion, §4.1.2)."""
+        rid = self._rid_for(oid)
+        if rid is None:
+            raise RecordNotFoundError(
+                f"{self.table_name}_SummaryStorage: no row for OID {oid}"
+            )
+        self.heap.delete(rid)
+        self.oid_index.delete(
+            encode_int(oid), struct.pack("<IH", rid.page_no, rid.slot)
+        )
+
+    def scan(self) -> Iterator[tuple[int, dict[str, SummaryObject]]]:
+        """Yield ``(oid, objects)`` for every annotated tuple."""
+        rid_to_oid = {}
+        for k, v in self.oid_index.items():
+            page_no, slot = struct.unpack("<IH", v)
+            rid_to_oid[RID(page_no, slot)] = decode_int(k)
+        for rid, record in self.heap.scan():
+            yield rid_to_oid[rid], self._decode(record)

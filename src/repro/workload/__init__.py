@@ -1,0 +1,19 @@
+"""Synthetic ornithological workload generator.
+
+Stands in for the paper's AKN-derived dataset (§6): a Birds table with 12
+attributes, a Synonyms table in a many-to-one relationship, and
+category-structured free-text annotations whose density per tuple sweeps the
+same 10→200 annotations/tuple range the paper evaluates. All randomness is
+seeded, so every benchmark run is reproducible.
+"""
+
+from repro.workload.generator import WorkloadConfig, build_database, generate_annotation
+from repro.workload.vocab import CATEGORIES, CLASS_LABELS
+
+__all__ = [
+    "WorkloadConfig",
+    "build_database",
+    "generate_annotation",
+    "CATEGORIES",
+    "CLASS_LABELS",
+]

@@ -1,0 +1,96 @@
+"""Vocabulary pools for the synthetic annotation generator.
+
+Annotations describe "anything related to birds, e.g., color, body shape or
+weight, certain behavior or sound, eating habits, geographic location, or
+observed diseases" (§1.1). Each class label owns a distinctive keyword pool
+so the Naive Bayes classifier and CluStream grouping exercise realistic
+separable text.
+"""
+
+from __future__ import annotations
+
+#: Labels of the ClassBird1 instance used throughout the evaluation (§6).
+CLASS_LABELS = ["Disease", "Anatomy", "Behavior", "Other"]
+
+CATEGORIES: dict[str, list[str]] = {
+    "Disease": [
+        "infection", "influenza", "avian", "flu", "virus", "parasite",
+        "outbreak", "lesion", "sick", "illness", "disease", "pathogen",
+        "botulism", "epidemic", "symptom", "mortality", "fungal", "mite",
+    ],
+    "Anatomy": [
+        "wing", "wingspan", "beak", "bill", "feather", "plumage", "tail",
+        "skeleton", "bone", "weight", "anatomy", "body", "shape", "size",
+        "talon", "crest", "molt", "coloration", "iris", "webbed",
+    ],
+    "Behavior": [
+        "migration", "nesting", "singing", "song", "foraging", "courtship",
+        "feeding", "eating", "diving", "flying", "behavior", "flock",
+        "roosting", "territorial", "display", "preening", "calling",
+        "stonewort", "mating", "wintering",
+    ],
+    "Other": [
+        "observation", "record", "survey", "volunteer", "photograph",
+        "location", "region", "lake", "wetland", "coast", "provenance",
+        "comment", "question", "note", "checklist", "county", "reserve",
+        "experiment", "wikipedia", "article",
+    ],
+}
+
+FILLER_WORDS = [
+    "the", "observed", "during", "near", "with", "several", "adult",
+    "juvenile", "morning", "evening", "reported", "appears", "noted",
+    "unusual", "typical", "first", "seen", "around", "area", "study",
+]
+
+#: Seed training examples for the ClassBird1 Naive Bayes model — a few
+#: hand-written documents per label, as a domain expert would provide when
+#: instantiating the summary instance (§2.1 extensibility).
+SEED_EXAMPLES: list[tuple[str, str]] = [
+    ("observed infection and avian influenza symptoms in sick individuals "
+     "virus outbreak mortality", "Disease"),
+    ("parasite lesions and fungal pathogen illness reported disease "
+     "epidemic botulism", "Disease"),
+    ("mite infestation symptom sick bird disease", "Disease"),
+    ("wing and wingspan measurements beak bill plumage feather tail",
+     "Anatomy"),
+    ("skeleton bone weight anatomy body shape size talon crest", "Anatomy"),
+    ("molt coloration iris webbed feet plumage anatomy", "Anatomy"),
+    ("migration and nesting behavior singing song foraging courtship",
+     "Behavior"),
+    ("feeding eating stonewort diving flying flock roosting behavior",
+     "Behavior"),
+    ("territorial display preening calling mating wintering behavior",
+     "Behavior"),
+    ("observation record survey volunteer photograph location", "Other"),
+    ("provenance comment question note checklist county reserve", "Other"),
+    ("experiment wikipedia article region lake wetland coast", "Other"),
+]
+
+GENERA = [
+    "Anser", "Cygnus", "Ardea", "Haliaeetus", "Corvus", "Larus", "Turdus",
+    "Passer", "Falco", "Strix", "Picus", "Sterna", "Grus", "Ciconia",
+]
+
+FAMILIES = [
+    "Anatidae", "Ardeidae", "Accipitridae", "Corvidae", "Laridae",
+    "Turdidae", "Passeridae", "Falconidae", "Strigidae", "Picidae",
+    "Sternidae", "Gruidae",
+]
+
+HABITATS = [
+    "wetland", "forest", "grassland", "coast", "tundra", "urban",
+    "mountain", "desert-edge",
+]
+
+REGIONS = [
+    "Nearctic", "Palearctic", "Neotropic", "Afrotropic", "Indomalaya",
+    "Australasia",
+]
+
+EPITHETS = [
+    "cygnoides", "olor", "cinerea", "albicilla", "corone", "argentatus",
+    "merula", "domesticus", "peregrinus", "aluco", "viridis", "hirundo",
+    "grus", "ciconia", "major", "minor", "alba", "nigra", "rustica",
+    "flavus",
+]

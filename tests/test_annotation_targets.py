@@ -1,0 +1,111 @@
+"""Annotation target combinatorics (§1: annotations attach to cells, rows,
+columns, and arbitrary sets of them) and their projection semantics."""
+
+import pytest
+
+from repro import Column, Database, ValueType
+from repro.annotations.annotation import AnnotationTarget
+
+SEEDS = [
+    ("flu virus infection outbreak", "Disease"),
+    ("survey checklist volunteer", "Other"),
+]
+TEXT = "flu virus infection outbreak sighted"
+
+
+@pytest.fixture()
+def db():
+    database = Database()
+    database.create_table("t", [
+        Column("a", ValueType.TEXT), Column("b", ValueType.TEXT),
+        Column("c", ValueType.TEXT),
+    ])
+    database.create_classifier_instance("C", ["Disease", "Other"], SEEDS)
+    database.manager.link("t", "C")
+    return database
+
+
+def disease_count(result, i=0):
+    return dict(result.summaries(i)["C"])["Disease"]
+
+
+class TestMultiColumnTargets:
+    def test_annotation_on_two_columns_survives_if_any_retained(self, db):
+        oid = db.insert("t", {"a": "x", "b": "y", "c": "z"})
+        db.add_annotation(TEXT, table="t", oid=oid, columns=("a", "b"))
+        # Projecting a keeps it (one of its columns is retained) ...
+        assert disease_count(db.sql("Select a From t")) == 1
+        # ... and projecting only c eliminates it.
+        assert disease_count(db.sql("Select c From t")) == 0
+
+    def test_row_level_annotation_never_eliminated(self, db):
+        oid = db.insert("t", {"a": "x", "b": "y", "c": "z"})
+        db.add_annotation(TEXT, table="t", oid=oid)  # row-level
+        assert disease_count(db.sql("Select c From t")) == 1
+
+    def test_mixed_targets_partial_elimination(self, db):
+        oid = db.insert("t", {"a": "x", "b": "y", "c": "z"})
+        db.add_annotation(TEXT, table="t", oid=oid, columns=("a",))
+        db.add_annotation(TEXT, table="t", oid=oid, columns=("b",))
+        db.add_annotation(TEXT, table="t", oid=oid)
+        assert disease_count(db.sql("Select a From t")) == 2  # a + row
+        assert disease_count(db.sql("Select * From t")) == 3
+
+
+class TestMultiTupleTargets:
+    def test_one_annotation_on_two_rows(self, db):
+        o1 = db.insert("t", {"a": "x1", "b": "y", "c": "z"})
+        o2 = db.insert("t", {"a": "x2", "b": "y", "c": "z"})
+        db.add_annotation(TEXT, targets=[
+            AnnotationTarget("t", o1, ()),
+            AnnotationTarget("t", o2, ()),
+        ])
+        result = db.sql("Select * From t Order By a")
+        assert disease_count(result, 0) == 1
+        assert disease_count(result, 1) == 1
+
+    def test_shared_annotation_deleted_everywhere(self, db):
+        o1 = db.insert("t", {"a": "x1", "b": "y", "c": "z"})
+        o2 = db.insert("t", {"a": "x2", "b": "y", "c": "z"})
+        ann = db.add_annotation(TEXT, targets=[
+            AnnotationTarget("t", o1, ()),
+            AnnotationTarget("t", o2, ()),
+        ])
+        db.delete_annotation(ann.ann_id)
+        result = db.sql("Select * From t Order By a")
+        assert disease_count(result, 0) == 0
+        assert disease_count(result, 1) == 0
+
+    def test_cross_table_annotation(self, db):
+        db.create_table("u", [Column("k", ValueType.TEXT)])
+        db.manager.link("u", "C")
+        o_t = db.insert("t", {"a": "x", "b": "y", "c": "z"})
+        o_u = db.insert("u", {"k": "w"})
+        db.add_annotation(TEXT, targets=[
+            AnnotationTarget("t", o_t, ()),
+            AnnotationTarget("u", o_u, ()),
+        ])
+        assert disease_count(db.sql("Select * From t")) == 1
+        assert disease_count(db.sql("Select * From u")) == 1
+
+    def test_zoom_sees_shared_annotation_once_per_tuple(self, db):
+        o1 = db.insert("t", {"a": "x1", "b": "y", "c": "z"})
+        o2 = db.insert("t", {"a": "x2", "b": "y", "c": "z"})
+        db.add_annotation(TEXT, targets=[
+            AnnotationTarget("t", o1, ()),
+            AnnotationTarget("t", o2, ()),
+        ])
+        assert db.zoom_in("t", o1, "C", "Disease") == [TEXT]
+        assert db.zoom_in("t", o2, "C", "Disease") == [TEXT]
+
+
+class TestTargetValidation:
+    def test_annotation_needs_table_and_oid(self, db):
+        with pytest.raises(Exception):
+            db.add_annotation(TEXT)
+
+    def test_columns_on_returns_right_subset(self, db):
+        oid = db.insert("t", {"a": "x", "b": "y", "c": "z"})
+        ann = db.add_annotation(TEXT, table="t", oid=oid, columns=("a", "c"))
+        assert set(ann.columns_on("t", oid)) == {"a", "c"}
+        assert ann.columns_on("t", 999) == ()

@@ -1,0 +1,173 @@
+"""Tests for the benchmark harness: figure tables, presets, measurement,
+and the shared query/selectivity helpers."""
+
+import pytest
+
+from repro.bench import (
+    FULL_SWEEP,
+    PAPER_LABELS,
+    PRESETS,
+    FigureTable,
+    Measurement,
+    active_preset,
+    cached_database,
+    clear_cache,
+    measure,
+)
+from repro.bench.queries import (
+    equality_constant,
+    label_distribution,
+    range_bounds,
+    sp_equality_query,
+    two_predicate_query,
+)
+from repro.storage.disk import IOStats
+from repro.workload.generator import WorkloadConfig, build_database
+
+
+class TestPresets:
+    def test_paper_labels_cover_full_sweep(self):
+        assert set(FULL_SWEEP) == set(PAPER_LABELS)
+
+    def test_label_lookup(self):
+        assert PRESETS["default"].label(10) == "450K"
+        assert PRESETS["default"].label(200) == "9M"
+
+    def test_unknown_density_falls_back(self):
+        assert PRESETS["quick"].label(33) == "33/tuple"
+
+    def test_active_preset_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "full")
+        assert active_preset().name == "full"
+
+    def test_active_preset_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_SCALE", raising=False)
+        assert active_preset().name == "default"
+
+    def test_active_preset_rejects_unknown(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "galactic")
+        with pytest.raises(ValueError):
+            active_preset()
+
+    def test_quick_is_subset_of_full_sweep(self):
+        assert set(PRESETS["quick"].densities) <= set(FULL_SWEEP)
+
+
+class TestFigureTable:
+    def make(self):
+        t = FigureTable("demo", unit="ms")
+        for x, a, b in [("10", 100.0, 10.0), ("20", 200.0, 20.0)]:
+            t.add("slow", x, a)
+            t.add("fast", x, b)
+        return t
+
+    def test_cell_value(self):
+        assert self.make().value("slow", "10") == 100.0
+
+    def test_series_in_x_order(self):
+        assert self.make().series("fast") == [10.0, 20.0]
+
+    def test_ratio_and_mean_ratio(self):
+        t = self.make()
+        assert t.ratio("slow", "fast", "10") == pytest.approx(10.0)
+        assert t.mean_ratio("slow", "fast") == pytest.approx(10.0)
+
+    def test_note_ratio_formats_claim(self):
+        t = self.make()
+        factor = t.note_ratio("slow", "fast", "about 10x")
+        assert factor == pytest.approx(10.0)
+        assert "[paper: about 10x]" in t.notes[0]
+        assert "10.0x faster" in t.notes[0]
+
+    def test_render_contains_series_and_xs(self):
+        text = self.make().render()
+        assert "demo" in text
+        assert "slow" in text and "fast" in text
+        assert "10" in text and "20" in text
+
+    def test_render_missing_cell_dash(self):
+        t = self.make()
+        t.add("partial", "10", 1.0)  # no cell at x=20
+        assert "-" in t.render().splitlines()[-1]
+
+    def test_mean_ratio_skips_missing_cells(self):
+        t = self.make()
+        t.add("partial", "10", 50.0)
+        assert t.mean_ratio("partial", "fast") == pytest.approx(5.0)
+
+
+class TestMeasurement:
+    def test_millis(self):
+        m = Measurement(0.25, IOStats(), rows=3, pages=7)
+        assert m.millis == pytest.approx(250.0)
+
+    def test_str_mentions_counters(self):
+        text = str(Measurement(0.001, IOStats(reads=2, writes=1), pages=5))
+        assert "pages=5" in text and "reads=2" in text
+
+
+@pytest.fixture(scope="module")
+def small_db():
+    return build_database(WorkloadConfig(
+        num_birds=20, annotations_per_tuple=15, indexes="summary_btree",
+        cell_fraction=0.0, seed=2,
+    ))
+
+
+class TestMeasure:
+    def test_measure_captures_rows_and_pages(self, small_db):
+        m = measure(small_db, lambda: small_db.sql("Select * From birds"))
+        assert m.rows == 20
+        assert m.pages > 0
+        assert m.seconds > 0
+
+    def test_repeat_keeps_best(self, small_db):
+        m1 = measure(small_db, lambda: small_db.sql("Select * From birds"),
+                     repeat=3)
+        assert m1.rows == 20
+
+
+class TestQueryHelpers:
+    def test_label_distribution_totals(self, small_db):
+        dist = label_distribution(small_db, "birds", "Disease")
+        assert sum(dist.values()) == 20
+
+    def test_equality_constant_hits_target(self, small_db):
+        c = equality_constant(small_db, "Disease", 0.10)
+        dist = label_distribution(small_db, "birds", "Disease")
+        # the chosen constant's frequency is the closest available to 10%
+        best = min(abs(dist[v] / 20 - 0.10) for v in dist)
+        assert abs(dist[c] / 20 - 0.10) == pytest.approx(best)
+
+    def test_range_bounds_cover_target_fraction(self, small_db):
+        lo, hi = range_bounds(small_db, "Anatomy", 0.5)
+        dist = label_distribution(small_db, "birds", "Anatomy")
+        covered = sum(n for v, n in dist.items() if lo <= v <= hi)
+        assert covered >= 10  # at least half the tuples
+
+    def test_queries_execute(self, small_db):
+        c = equality_constant(small_db, "Disease", 0.1)
+        small_db.sql(sp_equality_query("Disease", c))
+        lo, hi = range_bounds(small_db, "Anatomy", 0.3)
+        small_db.sql(two_predicate_query(lo, hi, "experiment"))
+
+    def test_equality_constant_rejects_empty_table(self):
+        from repro import Column, Database, ValueType
+
+        db = Database()
+        db.create_table("birds", [Column("x", ValueType.INT)])
+        with pytest.raises(ValueError):
+            equality_constant(db, "Disease", 0.1)
+
+
+class TestCache:
+    def test_cached_database_memoizes(self):
+        clear_cache()
+        kwargs = dict(num_birds=4, annotations_per_tuple=3, indexes="none")
+        a = cached_database(**kwargs)
+        b = cached_database(**kwargs)
+        assert a is b
+        clear_cache()
+        c = cached_database(**kwargs)
+        assert c is not a
+        clear_cache()

@@ -1,0 +1,89 @@
+"""Engine correctness under buffer-pool pressure: a pool far smaller than
+the working set forces evictions and re-reads mid-query; results must not
+change, and I/O counters must show the thrashing."""
+
+import pytest
+
+from repro import Column, Database, ValueType
+from repro.optimizer.planner import PlannerOptions
+
+SEEDS = [
+    ("flu virus infection outbreak", "Disease"),
+    ("survey checklist volunteer", "Other"),
+]
+DISEASE = "$.getSummaryObject('C').getLabelValue('Disease')"
+
+
+def build(buffer_pages: int) -> Database:
+    db = Database(buffer_pages=buffer_pages)
+    db.create_table("t", [
+        Column("name", ValueType.TEXT), Column("blob", ValueType.TEXT),
+    ])
+    db.create_classifier_instance("C", ["Disease", "Other"], SEEDS)
+    db.sql("Alter Table t Add Indexable C")
+    for i in range(40):
+        # pad rows so the working set spans many pages
+        oid = db.insert("t", {"name": f"n{i:02d}", "blob": "x" * 500})
+        for _ in range(i % 5):
+            db.add_annotation(
+                "flu virus infection outbreak " + "filler " * 30,
+                table="t", oid=oid,
+            )
+    db.analyze("t")
+    return db
+
+
+class TestTinyPool:
+    def test_results_identical_across_pool_sizes(self):
+        roomy = build(buffer_pages=4096)
+        tiny = build(buffer_pages=8)
+        query = f"Select name From t r Where r.{DISEASE} >= 2 Order By name"
+        assert roomy.sql(query).column("name") == tiny.sql(query).column(
+            "name"
+        )
+
+    def test_tiny_pool_actually_evicts(self):
+        tiny = build(buffer_pages=4)
+        before = tiny.disk.stats.snapshot()
+        tiny.sql("Select name From t")
+        tiny.sql("Select name From t")  # second pass cannot be fully cached
+        delta = tiny.disk.stats.delta(before)
+        assert delta.reads > 0
+
+    def test_roomy_pool_serves_repeats_from_cache(self):
+        roomy = build(buffer_pages=4096)
+        roomy.sql("Select name From t")  # warm
+        before = roomy.disk.stats.snapshot()
+        roomy.sql("Select name From t")
+        assert roomy.disk.stats.delta(before).reads == 0
+
+    def test_index_queries_survive_eviction(self):
+        tiny = build(buffer_pages=8)
+        query = f"Select name From t r Where r.{DISEASE} = 4"
+        expected = tiny.sql(query).column("name")
+        tiny.options.force_access = "index"
+        try:
+            via_index = tiny.sql(query).column("name")
+        finally:
+            tiny.options.force_access = None
+        assert sorted(via_index) == sorted(expected)
+
+    def test_external_sort_under_pressure(self):
+        tiny = build(buffer_pages=8)
+        tiny.options.force_sort = "disk"
+        try:
+            result = tiny.sql("Select name From t Order By name Desc")
+        finally:
+            tiny.options.force_sort = None
+        names = result.column("name")
+        assert names == sorted(names, reverse=True)
+
+    def test_mutations_under_pressure(self):
+        tiny = build(buffer_pages=8)
+        oid = tiny.insert("t", {"name": "late", "blob": "y" * 500})
+        tiny.add_annotation("flu virus infection outbreak late",
+                            table="t", oid=oid)
+        result = tiny.sql(
+            f"Select name From t r Where name = 'late' And r.{DISEASE} = 1"
+        )
+        assert len(result) == 1

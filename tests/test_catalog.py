@@ -1,0 +1,213 @@
+"""Unit tests for schemas, key encodings, tables, and the catalog."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.catalog import Catalog, Column, Schema, Table
+from repro.catalog.keys import (
+    encode_bool,
+    encode_float,
+    encode_int,
+    decode_int,
+    encode_key,
+    encode_text,
+)
+from repro.errors import CatalogError, RecordNotFoundError, SchemaError
+from repro.storage.buffer import BufferPool
+from repro.storage.disk import DiskManager
+from repro.storage.record import ValueType
+
+
+def make_pool():
+    return BufferPool(DiskManager(), capacity=512)
+
+
+def birds_schema():
+    return Schema(
+        [
+            Column("name", ValueType.TEXT),
+            Column("family", ValueType.TEXT),
+            Column("weight", ValueType.FLOAT),
+            Column("sightings", ValueType.INT),
+        ]
+    )
+
+
+class TestSchema:
+    def test_basic_lookup(self):
+        schema = birds_schema()
+        assert schema.index_of("family") == 1
+        assert schema.column("weight").type is ValueType.FLOAT
+        assert "name" in schema
+        assert "bogus" not in schema
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema([Column("a", ValueType.INT), Column("a", ValueType.TEXT)])
+
+    def test_row_from_dict_orders_values(self):
+        schema = birds_schema()
+        row = schema.row_from_dict({"sightings": 5, "name": "swan"})
+        assert row == ["swan", None, None, 5]
+
+    def test_row_from_dict_unknown_column(self):
+        with pytest.raises(SchemaError):
+            birds_schema().row_from_dict({"nope": 1})
+
+    def test_validate_not_nullable(self):
+        schema = Schema([Column("id", ValueType.INT, nullable=False)])
+        with pytest.raises(SchemaError):
+            schema.validate_row([None])
+
+    def test_project(self):
+        sub = birds_schema().project(["weight", "name"])
+        assert sub.names == ["weight", "name"]
+
+
+class TestKeyEncodings:
+    @given(st.integers(min_value=-(2**63), max_value=2**63 - 1),
+           st.integers(min_value=-(2**63), max_value=2**63 - 1))
+    @settings(max_examples=100)
+    def test_int_order_preserved(self, a, b):
+        assert (encode_int(a) < encode_int(b)) == (a < b)
+
+    @given(st.integers(min_value=-(2**63), max_value=2**63 - 1))
+    @settings(max_examples=50)
+    def test_int_roundtrip(self, a):
+        assert decode_int(encode_int(a)) == a
+
+    @given(
+        st.floats(allow_nan=False, allow_infinity=False, width=64),
+        st.floats(allow_nan=False, allow_infinity=False, width=64),
+    )
+    @settings(max_examples=100)
+    def test_float_order_preserved(self, a, b):
+        if a < b:
+            assert encode_float(a) < encode_float(b)
+        elif a > b:
+            assert encode_float(a) > encode_float(b)
+
+    @given(st.text(max_size=30), st.text(max_size=30))
+    @settings(max_examples=50)
+    def test_text_prefix_order(self, a, b):
+        # utf-8 lexicographic order agrees with codepoint order
+        assert (encode_text(a) < encode_text(b)) == (a < b)
+
+    def test_bool_order(self):
+        assert encode_bool(False) < encode_bool(True)
+
+    def test_null_sorts_first(self):
+        assert encode_key(None, ValueType.INT) < encode_key(-(2**63), ValueType.INT)
+        assert encode_key(None, ValueType.TEXT) < encode_key("", ValueType.TEXT)
+
+
+class TestTable:
+    def test_insert_read_roundtrip(self):
+        table = Table("birds", birds_schema(), make_pool())
+        oid = table.insert({"name": "swan goose", "family": "Anatidae",
+                            "weight": 3.2, "sightings": 12})
+        assert table.read_dict(oid)["name"] == "swan goose"
+        assert len(table) == 1
+
+    def test_oids_monotonic(self):
+        table = Table("birds", birds_schema(), make_pool())
+        oids = [table.insert({"name": f"b{i}"}) for i in range(5)]
+        assert oids == [1, 2, 3, 4, 5]
+
+    def test_disk_tuple_loc_resolves(self):
+        table = Table("birds", birds_schema(), make_pool())
+        oid = table.insert({"name": "x"})
+        rid = table.disk_tuple_loc(oid)
+        assert table.read_at(rid)[0] == "x"
+
+    def test_read_missing_oid_raises(self):
+        table = Table("birds", birds_schema(), make_pool())
+        with pytest.raises(RecordNotFoundError):
+            table.read(99)
+
+    def test_update_changes_values(self):
+        table = Table("birds", birds_schema(), make_pool())
+        oid = table.insert({"name": "a", "sightings": 1})
+        table.update(oid, {"sightings": 2})
+        assert table.read_dict(oid)["sightings"] == 2
+        assert table.read_dict(oid)["name"] == "a"
+
+    def test_delete_removes_tuple(self):
+        table = Table("birds", birds_schema(), make_pool())
+        oid = table.insert({"name": "gone"})
+        table.delete(oid)
+        assert len(table) == 0
+        with pytest.raises(RecordNotFoundError):
+            table.read(oid)
+
+    def test_scan_returns_all(self):
+        table = Table("birds", birds_schema(), make_pool())
+        for i in range(200):
+            table.insert({"name": f"bird-{i}", "sightings": i})
+        rows = dict(table.scan())
+        assert len(rows) == 200
+        assert rows[1][0] == "bird-0"
+
+    def test_secondary_index_lookup(self):
+        table = Table("birds", birds_schema(), make_pool())
+        for i in range(50):
+            table.insert({"name": f"b{i}", "family": f"fam{i % 5}"})
+        table.create_index("family")
+        oids = table.index_lookup("family", "fam3")
+        assert len(oids) == 10
+        for oid in oids:
+            assert table.read_dict(oid)["family"] == "fam3"
+
+    def test_secondary_index_range(self):
+        table = Table("birds", birds_schema(), make_pool())
+        for i in range(100):
+            table.insert({"name": f"b{i}", "sightings": i})
+        table.create_index("sightings")
+        oids = list(table.index_range("sightings", 10, 19))
+        assert len(oids) == 10
+        values = [table.read_dict(o)["sightings"] for o in oids]
+        assert values == sorted(values)
+
+    def test_index_maintained_on_update_and_delete(self):
+        table = Table("birds", birds_schema(), make_pool())
+        oid = table.insert({"name": "b", "sightings": 5})
+        table.create_index("sightings")
+        table.update(oid, {"sightings": 7})
+        assert table.index_lookup("sightings", 5) == []
+        assert table.index_lookup("sightings", 7) == [oid]
+        table.delete(oid)
+        assert table.index_lookup("sightings", 7) == []
+
+    def test_duplicate_index_rejected(self):
+        table = Table("birds", birds_schema(), make_pool())
+        table.create_index("family")
+        with pytest.raises(CatalogError):
+            table.create_index("family")
+
+    def test_lookup_without_index_raises(self):
+        table = Table("birds", birds_schema(), make_pool())
+        with pytest.raises(CatalogError):
+            table.index_lookup("family", "x")
+
+
+class TestCatalog:
+    def test_create_and_get(self):
+        catalog = Catalog(make_pool())
+        catalog.create_table("Birds", birds_schema())
+        assert catalog.has_table("birds")  # case-insensitive
+        assert catalog.table("BIRDS").name == "Birds"
+
+    def test_duplicate_table_rejected(self):
+        catalog = Catalog(make_pool())
+        catalog.create_table("t", birds_schema())
+        with pytest.raises(CatalogError):
+            catalog.create_table("T", birds_schema())
+
+    def test_drop_table(self):
+        catalog = Catalog(make_pool())
+        catalog.create_table("t", birds_schema())
+        catalog.drop_table("t")
+        assert not catalog.has_table("t")
+        with pytest.raises(CatalogError):
+            catalog.table("t")

@@ -1,0 +1,107 @@
+"""The interactive shell's command layer (``python -m repro``)."""
+
+import pytest
+
+from repro import Column, Database, ValueType
+from repro.cli import execute_line
+
+
+@pytest.fixture()
+def db():
+    database = Database()
+    database.create_table("t", [Column("name", ValueType.TEXT)])
+    database.insert("t", {"name": "swan"})
+    return database
+
+
+class TestSql:
+    def test_select_prints_table_and_timing(self, db):
+        out = execute_line(db, "Select name From t")
+        assert "swan" in out
+        assert "1 rows" in out
+
+    def test_ddl_and_insert(self, db):
+        assert execute_line(db, "Create Table u (id int)") == "ok"
+        assert execute_line(db, "Insert Into u (id) Values (1)") == "ok"
+        assert "1 rows" in execute_line(db, "Select * From u")
+
+    def test_explain(self, db):
+        out = execute_line(db, "EXPLAIN Select name From t")
+        assert "logical" in out and "SeqScan" in out
+
+    def test_zoom_output(self, db):
+        db.create_classifier_instance(
+            "C", ["A", "B"], [("alpha apple", "A"), ("beta ball", "B")]
+        )
+        db.manager.link("t", "C")
+        db.add_annotation("alpha apple pie", table="t", oid=1)
+        out = execute_line(db, "Zoom In t 1 C 'A'")
+        assert "alpha apple pie" in out
+
+    def test_dml_reports_row_counts(self, db):
+        db.insert("t", {"name": "extra"})
+        out = execute_line(db, "Delete From t Where name = 'extra'")
+        assert out == "1 rows affected"
+        out = execute_line(db, "Update t Set name = 'renamed'")
+        assert "1 rows affected" in out
+
+    def test_empty_line(self, db):
+        assert execute_line(db, "   ") == ""
+
+
+class TestCommands:
+    def test_help(self, db):
+        assert "\\demo" in execute_line(db, "\\help")
+
+    def test_tables(self, db):
+        assert "t" in execute_line(db, "\\tables")
+
+    def test_instances(self, db):
+        db.create_classifier_instance(
+            "C", ["A"], [("alpha", "A")]
+        )
+        db.manager.link("t", "C")
+        out = execute_line(db, "\\instances")
+        assert "C (Classifier) -> t" in out
+
+    def test_stats(self, db):
+        db.analyze("t")
+        out = execute_line(db, "\\stats t")
+        assert "rows=1" in out
+
+    def test_set_boolean_option(self, db):
+        out = execute_line(db, "\\set enable_rules false")
+        assert db.options.enable_rules is False
+        assert "enable_rules = False" in out
+        execute_line(db, "\\set enable_rules true")
+        assert db.options.enable_rules is True
+
+    def test_set_string_and_none(self, db):
+        execute_line(db, "\\set force_join nloop")
+        assert db.options.force_join == "nloop"
+        execute_line(db, "\\set force_join none")
+        assert db.options.force_join is None
+
+    def test_set_unknown_option(self, db):
+        assert "unknown option" in execute_line(db, "\\set bogus 1")
+
+    def test_unknown_command(self, db):
+        assert "unknown command" in execute_line(db, "\\frobnicate")
+
+    def test_quit_raises_eof(self, db):
+        with pytest.raises(EOFError):
+            execute_line(db, "\\quit")
+
+    def test_demo_loads_workload(self, db):
+        out = execute_line(db, "\\demo 6 4")
+        assert "6 birds" in out
+        result = execute_line(db, "Select count(*) n From birds")
+        assert "6" in result
+        # summary queries work on the demo data
+        out = execute_line(
+            db,
+            "Select common_name From birds r Where "
+            "r.$.getSummaryObject('ClassBird1').getLabelValue('Disease') "
+            ">= 0 Limit 2",
+        )
+        assert "rows" in out

@@ -1,0 +1,143 @@
+"""Cluster-type summaries through the full engine: propagation across
+joins/grouping, representative re-election under projection and deletes,
+zoom-in on groups, and the $-functions over cluster objects."""
+
+import pytest
+
+from repro import Column, Database, ValueType
+
+# Two well-separated topics so CluStream forms two groups per tuple.
+DISEASE_NOTES = [
+    "flu virus infection outbreak epidemic mortality sick birds",
+    "infection epidemic flu mortality virus outbreak sick",
+    "virus flu epidemic infection outbreak sick mortality",
+]
+HABITAT_NOTES = [
+    "wetland lake marsh reed shoreline coastal water habitat",
+    "marsh wetland reed lake habitat coastal shoreline water",
+]
+
+
+@pytest.fixture()
+def db():
+    database = Database()
+    database.create_table("t", [
+        Column("name", ValueType.TEXT), Column("grp", ValueType.TEXT),
+    ])
+    database.create_cluster_instance("Clu")
+    database.manager.link("t", "Clu")
+    return database
+
+
+def annotate_topics(db, oid, disease=0, habitat=0):
+    for text in DISEASE_NOTES[:disease]:
+        db.add_annotation(text, table="t", oid=oid)
+    for text in HABITAT_NOTES[:habitat]:
+        db.add_annotation(text, table="t", oid=oid)
+
+
+class TestClusterObjects:
+    def test_two_topics_two_groups(self, db):
+        oid = db.insert("t", {"name": "a", "grp": "g"})
+        annotate_topics(db, oid, disease=3, habitat=2)
+        obj = db.manager.summary_set_for("t", oid).get_summary_object("Clu")
+        assert obj.get_size() == 2
+        sizes = sorted(size for _rep, size in obj.rep())
+        assert sizes == [2, 3]
+
+    def test_rep_ordered_by_group_size(self, db):
+        oid = db.insert("t", {"name": "a", "grp": "g"})
+        annotate_topics(db, oid, disease=3, habitat=2)
+        obj = db.manager.summary_set_for("t", oid).get_summary_object("Clu")
+        sizes = [size for _rep, size in obj.rep()]
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_zoom_in_on_largest_group(self, db):
+        oid = db.insert("t", {"name": "a", "grp": "g"})
+        annotate_topics(db, oid, disease=3, habitat=2)
+        texts = db.zoom_in("t", oid, "Clu", 0)  # position 0 = largest
+        assert len(texts) == 3
+        assert all("flu" in t or "virus" in t for t in texts)
+
+
+class TestClusterFunctionsInQueries:
+    def test_get_size_predicate(self, db):
+        for name, disease, habitat in [("two", 3, 2), ("one", 3, 0)]:
+            oid = db.insert("t", {"name": name, "grp": "g"})
+            annotate_topics(db, oid, disease=disease, habitat=habitat)
+        result = db.sql(
+            "Select name From t r Where "
+            "r.$.getSummaryObject('Clu').getSize() = 2"
+        )
+        assert [t.get("name") for t in result.tuples] == ["two"]
+
+    def test_get_group_size_in_select_list(self, db):
+        oid = db.insert("t", {"name": "a", "grp": "g"})
+        annotate_topics(db, oid, disease=3, habitat=2)
+        result = db.sql(
+            "Select name, r.$.getSummaryObject('Clu').getGroupSize(0) s "
+            "From t r"
+        )
+        assert result.tuples[0].get("s") == 3
+
+    def test_get_representative_function(self, db):
+        oid = db.insert("t", {"name": "a", "grp": "g"})
+        annotate_topics(db, oid, disease=3)
+        result = db.sql(
+            "Select r.$.getSummaryObject('Clu').getRepresentative(0) rep "
+            "From t r"
+        )
+        rep = result.tuples[0].get("rep")
+        assert any(kw in rep for kw in ("flu", "virus", "infection"))
+
+    def test_structural_filter_keeps_cluster_only(self, db):
+        db.create_classifier_instance(
+            "C", ["A", "B"], [("alpha apple", "A"), ("beta ball", "B")]
+        )
+        db.manager.link("t", "C")
+        oid = db.insert("t", {"name": "a", "grp": "g"})
+        annotate_topics(db, oid, disease=2)
+        result = db.sql(
+            "Select name From t "
+            "FILTER SUMMARIES getSummaryType() = 'Cluster'"
+        )
+        assert set(result.summaries(0)) == {"Clu"}
+
+
+class TestClusterPropagation:
+    def test_group_by_merges_cluster_objects(self, db):
+        for name in ("a", "b"):
+            oid = db.insert("t", {"name": name, "grp": "same"})
+            annotate_topics(db, oid, disease=2)
+        result = db.sql(
+            "Select grp, count(*) n From t Group By grp"
+        )
+        merged = result.summaries(0)["Clu"]
+        # 4 disease-style annotations merged into the group's clusters:
+        # total member count across groups must be 4 (no double counting).
+        assert sum(size for _rep, size in merged) == 4
+
+    def test_join_merges_cluster_objects(self, db):
+        db.create_table("u", [Column("grp", ValueType.TEXT)])
+        db.manager.link("u", "Clu")
+        oid_t = db.insert("t", {"name": "a", "grp": "g"})
+        annotate_topics(db, oid_t, disease=2)
+        oid_u = db.insert("u", {"grp": "g"})
+        db.add_annotation(HABITAT_NOTES[0], table="u", oid=oid_u)
+        result = db.sql(
+            "Select r.name From t r, u s Where r.grp = s.grp"
+        )
+        merged = result.summaries(0)["Clu"]
+        assert sum(size for _rep, size in merged) == 3
+
+    def test_delete_annotation_shrinks_group(self, db):
+        oid = db.insert("t", {"name": "a", "grp": "g"})
+        ann = db.add_annotation(DISEASE_NOTES[0], table="t", oid=oid)
+        db.add_annotation(DISEASE_NOTES[1], table="t", oid=oid)
+        before = db.manager.summary_set_for("t", oid) \
+            .get_summary_object("Clu")
+        assert sum(s for _r, s in before.rep()) == 2
+        db.delete_annotation(ann.ann_id)
+        after = db.manager.summary_set_for("t", oid) \
+            .get_summary_object("Clu")
+        assert sum(s for _r, s in after.rep()) == 1

@@ -1,0 +1,214 @@
+"""End-to-end lifecycle scenarios across the whole stack: DDL, annotation
+maintenance, index consistency under mutation, key widening at scale, and
+query pipelines that chain several operators."""
+
+import pytest
+
+from repro import Column, Database, ValueType
+
+SEEDS = [
+    ("flu virus infection outbreak epidemic sick", "Disease"),
+    ("foraging nesting singing courtship flock", "Behavior"),
+    ("survey checklist volunteer photo record", "Other"),
+]
+DISEASE_TEXT = "flu virus infection outbreak in the flock"
+BEHAVIOR_TEXT = "nesting and singing behavior at the flock roost"
+EXPR = "$.getSummaryObject('C').getLabelValue"
+
+
+def make_db(indexable: bool = True) -> Database:
+    db = Database()
+    db.create_table("birds", [
+        Column("name", ValueType.TEXT),
+        Column("family", ValueType.TEXT),
+        Column("weight", ValueType.FLOAT),
+    ])
+    db.create_classifier_instance("C", ["Disease", "Behavior", "Other"],
+                                  SEEDS)
+    db.sql(f"Alter Table birds Add {'Indexable ' if indexable else ''}C")
+    return db
+
+
+class TestLifecycle:
+    def test_full_cycle_annotate_query_delete_requery(self):
+        db = make_db()
+        oids = {}
+        for name, n in [("a", 3), ("b", 1), ("c", 0)]:
+            oid = db.insert("birds", {"name": name, "family": "F",
+                                      "weight": 1.0})
+            oids[name] = oid
+            for _ in range(n):
+                db.add_annotation(DISEASE_TEXT, table="birds", oid=oid)
+        query = f"Select name From birds r Where r.{EXPR}('Disease') >= 2"
+        assert [t.get("name") for t in db.sql(query).tuples] == ["a"]
+
+        # Delete a's annotations one by one; the index must track.
+        for ann_id in list(
+            db.manager.summary_set_for("birds", oids["a"])
+            .get_summary_object("C").label_elements["Disease"]
+        )[:2]:
+            db.delete_annotation(ann_id)
+        assert len(db.sql(query)) == 0
+        query1 = f"Select name From birds r Where r.{EXPR}('Disease') = 1"
+        assert sorted(t.get("name") for t in db.sql(query1).tuples) == [
+            "a", "b",
+        ]
+
+    def test_tuple_delete_removes_from_index_and_results(self):
+        db = make_db()
+        oid = db.insert("birds", {"name": "x", "family": "F", "weight": 1.0})
+        db.add_annotation(DISEASE_TEXT, table="birds", oid=oid)
+        index = db.summary_indexes[("birds", "C")]
+        assert len(index) > 0
+        db.delete_tuple("birds", oid)
+        assert len(index) == 0
+        assert len(db.sql("Select name From birds")) == 0
+
+    def test_drop_instance_then_queries_reject_it(self):
+        db = make_db()
+        db.insert("birds", {"name": "x", "family": "F", "weight": 1.0})
+        db.sql("Alter Table birds Drop C")
+        with pytest.raises(Exception):
+            db.sql(f"Select name From birds r Where r.{EXPR}('Disease') > 0")
+
+    def test_zoom_reflects_deletes(self):
+        db = make_db()
+        oid = db.insert("birds", {"name": "x", "family": "F", "weight": 1.0})
+        ann = db.add_annotation(DISEASE_TEXT, table="birds", oid=oid)
+        db.add_annotation(DISEASE_TEXT + " again", table="birds", oid=oid)
+        assert len(db.zoom_in("birds", oid, "C", "Disease")) == 2
+        db.delete_annotation(ann.ann_id)
+        assert len(db.zoom_in("birds", oid, "C", "Disease")) == 1
+
+
+class TestKeyWidening:
+    def test_counts_past_999_trigger_rebuild(self):
+        # The paper's footnote 1: past 999 annotations on one label the
+        # index widens its count format and rebuilds.
+        db = make_db()
+        oid = db.insert("birds", {"name": "x", "family": "F", "weight": 1.0})
+        index = db.summary_indexes[("birds", "C")]
+        assert index.width == 3
+        db.manager.add_annotations_bulk([
+            (DISEASE_TEXT, [__import__("repro.annotations.annotation",
+                                       fromlist=["AnnotationTarget"])
+                            .AnnotationTarget("birds", oid, ())])
+            for _ in range(1001)
+        ])
+        assert index.width == 4
+        # The widened index still answers queries correctly.
+        result = db.sql(
+            f"Select name From birds r Where r.{EXPR}('Disease') > 999"
+        )
+        assert [t.get("name") for t in result.tuples] == ["x"]
+
+    def test_widened_index_range_probe(self):
+        db = make_db()
+        from repro.annotations.annotation import AnnotationTarget
+
+        for name, count in [("small", 5), ("big", 1500)]:
+            oid = db.insert("birds", {"name": name, "family": "F",
+                                      "weight": 1.0})
+            db.manager.add_annotations_bulk(
+                [(DISEASE_TEXT, [AnnotationTarget("birds", oid, ())])]
+                * count
+            )
+        index = db.summary_indexes[("birds", "C")]
+        assert index.width == 4
+        result = db.sql(
+            f"Select name From birds r Where r.{EXPR}('Disease') in [1, 10]"
+        )
+        assert [t.get("name") for t in result.tuples] == ["small"]
+
+
+class TestPipelines:
+    @pytest.fixture()
+    def db(self):
+        database = make_db()
+        data = [
+            ("a", "Anatidae", 3, 1), ("b", "Anatidae", 1, 2),
+            ("c", "Corvidae", 2, 0), ("d", "Corvidae", 0, 3),
+            ("e", "Laridae", 4, 4),
+        ]
+        for name, family, diseases, behaviors in data:
+            oid = database.insert(
+                "birds", {"name": name, "family": family, "weight": 1.0}
+            )
+            for _ in range(diseases):
+                database.add_annotation(DISEASE_TEXT, table="birds", oid=oid)
+            for _ in range(behaviors):
+                database.add_annotation(BEHAVIOR_TEXT, table="birds", oid=oid)
+        database.analyze("birds")
+        return database
+
+    def test_select_sort_limit_chain(self, db):
+        result = db.sql(
+            f"Select name From birds r Where r.{EXPR}('Disease') > 0 "
+            f"Order By r.{EXPR}('Disease') Desc Limit 2"
+        )
+        assert result.column("name") == ["e", "a"]
+
+    def test_group_by_with_summary_output(self, db):
+        result = db.sql(
+            f"Select family, count(*) n, r.{EXPR}('Disease') d "
+            "From birds r Group By family Order By family"
+        )
+        by_family = {
+            t.get("family"): (t.get("n"), t.get("d")) for t in result.tuples
+        }
+        assert by_family["Anatidae"] == (2, 4)
+        assert by_family["Corvidae"] == (2, 2)
+
+    def test_distinct_then_order(self, db):
+        result = db.sql(
+            "Select Distinct family From birds Order By family"
+        )
+        assert result.column("family") == ["Anatidae", "Corvidae", "Laridae"]
+
+    def test_filter_summaries_then_selection(self, db):
+        result = db.sql(
+            f"Select name From birds r Where r.{EXPR}('Behavior') >= 2 "
+            "FILTER SUMMARIES getSummaryName() = 'C'"
+        )
+        assert sorted(t.get("name") for t in result.tuples) == [
+            "b", "d", "e",
+        ]
+        assert set(result.summaries(0)) == {"C"}
+
+    def test_aggregates_over_summary_values(self, db):
+        result = db.sql(
+            f"Select max(r.{EXPR}('Disease')) hi, "
+            f"min(r.{EXPR}('Disease')) lo From birds r"
+        )
+        assert result.tuples[0].get("hi") == 4
+        assert result.tuples[0].get("lo") == 0
+
+    def test_summary_expression_in_select_list(self, db):
+        result = db.sql(
+            f"Select name, r.{EXPR}('Disease') d From birds r "
+            "Order By name"
+        )
+        assert result.column("d") == [3, 1, 2, 0, 4]
+
+
+class TestStatisticsLifecycle:
+    def test_stats_refresh_after_mutations(self):
+        db = make_db()
+        for i in range(10):
+            oid = db.insert("birds", {"name": f"n{i}", "family": "F",
+                                      "weight": 1.0})
+            for _ in range(i):
+                db.add_annotation(DISEASE_TEXT, table="birds", oid=oid)
+        db.analyze("birds")
+        before = db.statistics.table_stats("birds")
+        label = before.instances["C"].labels["Disease"]
+        assert label.max == 9
+        # Mutate heavily, then re-analyze: stats must follow.
+        oid = db.insert("birds", {"name": "new", "family": "F",
+                                  "weight": 1.0})
+        for _ in range(20):
+            db.add_annotation(DISEASE_TEXT, table="birds", oid=oid)
+        db.analyze("birds")
+        after = db.statistics.table_stats("birds")
+        assert after.instances["C"].labels["Disease"].max == 20
+        assert after.row_count == 11

@@ -1,0 +1,199 @@
+"""Expression-evaluation semantics: comparisons, LIKE, boolean logic,
+NULL handling, summary-expression dispatch, and error paths."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import QueryError
+from repro.query.ast import (
+    And,
+    ColumnRef,
+    Comparison,
+    FuncCall,
+    Literal,
+    Not,
+    Or,
+    SummaryExpr,
+)
+from repro.query.eval import EvalContext, evaluate, like_match
+from repro.query.tuples import QTuple
+from repro.summaries.functions import SummarySet
+from repro.summaries.objects import ClassifierObject
+
+
+def row(**values) -> QTuple:
+    return QTuple(list(values), list(values.values()))
+
+
+def lit(v):
+    return Literal(v)
+
+
+def col(name):
+    return ColumnRef(None, name)
+
+
+class TestLikeMatch:
+    def test_percent_wildcard(self):
+        assert like_match("Swan Goose", "Swan%")
+        assert not like_match("Goose Swan", "Swan%")
+
+    def test_star_alias(self):
+        # The paper's Q1 writes "Swan*".
+        assert like_match("Swan Goose", "Swan*")
+
+    def test_underscore_single_char(self):
+        assert like_match("cat", "c_t")
+        assert not like_match("cart", "c_t")
+
+    def test_case_insensitive(self):
+        assert like_match("SWAN", "swan")
+
+    def test_regex_metacharacters_escaped(self):
+        assert like_match("a.b", "a.b")
+        assert not like_match("axb", "a.b")
+
+    @given(st.text(min_size=0, max_size=20))
+    def test_full_wildcard_matches_everything(self, s):
+        assert like_match(s, "%")
+
+    @given(st.text(alphabet="abc", min_size=1, max_size=10))
+    def test_exact_pattern_matches_itself(self, s):
+        assert like_match(s, s)
+
+
+class TestComparisons:
+    @pytest.mark.parametrize("op,a,b,expected", [
+        ("=", 3, 3, True), ("=", 3, 4, False),
+        ("<>", 3, 4, True), ("<>", 3, 3, False),
+        ("<", 1, 2, True), ("<=", 2, 2, True),
+        (">", 2, 1, True), (">=", 1, 2, False),
+    ])
+    def test_numeric_ops(self, op, a, b, expected):
+        expr = Comparison(op, lit(a), lit(b))
+        assert evaluate(expr, row()) is expected
+
+    def test_string_comparison(self):
+        assert evaluate(Comparison("<", lit("abc"), lit("abd")), row())
+
+    def test_null_comparisons_false(self):
+        for op in ("=", "<>", "<", ">"):
+            assert evaluate(Comparison(op, lit(None), lit(1)), row()) is False
+            assert evaluate(Comparison(op, lit(1), lit(None)), row()) is False
+
+    def test_type_mismatch_raises(self):
+        with pytest.raises(QueryError):
+            evaluate(Comparison("<", lit("x"), lit(1)), row())
+
+    def test_column_reference(self):
+        expr = Comparison("=", col("a"), lit(5))
+        assert evaluate(expr, row(a=5))
+        assert not evaluate(expr, row(a=6))
+
+
+class TestBooleanLogic:
+    def test_and_all_required(self):
+        t, f = Comparison("=", lit(1), lit(1)), Comparison("=", lit(1), lit(2))
+        assert evaluate(And((t, t)), row())
+        assert not evaluate(And((t, f)), row())
+
+    def test_or_any_suffices(self):
+        t, f = Comparison("=", lit(1), lit(1)), Comparison("=", lit(1), lit(2))
+        assert evaluate(Or((f, t)), row())
+        assert not evaluate(Or((f, f)), row())
+
+    def test_not(self):
+        t = Comparison("=", lit(1), lit(1))
+        assert not evaluate(Not(t), row())
+
+    @given(st.lists(st.booleans(), min_size=1, max_size=6))
+    def test_and_or_match_python_semantics(self, bits):
+        items = tuple(
+            Comparison("=", lit(1), lit(1 if b else 2)) for b in bits
+        )
+        assert evaluate(And(items), row()) == all(bits)
+        assert evaluate(Or(items), row()) == any(bits)
+
+
+class TestSummaryExpressions:
+    def make_row(self):
+        obj = ClassifierObject(instance_name="C", tuple_id=0,
+                               labels=["Disease", "Other"])
+        obj.add_annotation(1, "Disease", ())
+        obj.add_annotation(2, "Disease", ())
+        obj.add_annotation(3, "Other", ())
+        sset = SummarySet({"C": obj})
+        return QTuple(["r.name"], ["bird"], {"r": sset}, {"r": ("t", 0)})
+
+    def expr(self, chain):
+        return SummaryExpr("r", tuple(chain))
+
+    def test_get_size_on_set(self):
+        e = self.expr([FuncCall("getSize", ())])
+        assert evaluate(e, self.make_row()) == 1
+
+    def test_get_label_value_chain(self):
+        e = self.expr([
+            FuncCall("getSummaryObject", ("C",)),
+            FuncCall("getLabelValue", ("Disease",)),
+        ])
+        assert evaluate(e, self.make_row()) == 2
+
+    def test_get_label_value_by_index(self):
+        e = self.expr([
+            FuncCall("getSummaryObject", ("C",)),
+            FuncCall("getLabelValue", (1,)),
+        ])
+        assert evaluate(e, self.make_row()) == 1  # "Other"
+
+    def test_get_label_name(self):
+        e = self.expr([
+            FuncCall("getSummaryObject", ("C",)),
+            FuncCall("getLabelName", (0,)),
+        ])
+        assert evaluate(e, self.make_row()) == "Disease"
+
+    def test_missing_instance_yields_null(self):
+        e = self.expr([
+            FuncCall("getSummaryObject", ("NoSuch",)),
+            FuncCall("getLabelValue", ("Disease",)),
+        ])
+        # getSummaryObject returns Null for unknown names (§3.1); chained
+        # access propagates the NULL rather than crashing.
+        assert evaluate(e, self.make_row()) is None
+
+    def test_null_summary_comparison_is_false(self):
+        e = Comparison(
+            ">",
+            self.expr([
+                FuncCall("getSummaryObject", ("NoSuch",)),
+                FuncCall("getLabelValue", ("Disease",)),
+            ]),
+            lit(0),
+        )
+        assert evaluate(e, self.make_row()) is False
+
+    def test_unknown_function_raises(self):
+        e = self.expr([FuncCall("frobnicate", ())])
+        with pytest.raises(QueryError):
+            evaluate(e, self.make_row())
+
+    def test_object_get_size(self):
+        e = self.expr([
+            FuncCall("getSummaryObject", ("C",)),
+            FuncCall("getSize", ()),
+        ])
+        assert evaluate(e, self.make_row()) == 2  # two labels in Rep[]
+
+
+class TestErrorPaths:
+    def test_aggregate_outside_group_by(self):
+        from repro.query.ast import AggCall
+
+        with pytest.raises(QueryError):
+            evaluate(AggCall("COUNT", None), row())
+
+    def test_unknown_column(self):
+        with pytest.raises(QueryError):
+            evaluate(col("missing"), row(a=1))

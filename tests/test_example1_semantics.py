@@ -1,0 +1,134 @@
+"""§2.2 Example 1 end-to-end: the worked SPJ query of the paper — shared
+annotations must not double-count when joined tuples' summaries merge,
+projection eliminates annotation effects before the merge, and cluster
+representatives are re-elected when theirs is dropped."""
+
+import pytest
+
+from repro import Column, Database, ValueType
+
+SEEDS = [
+    ("flu virus infection outbreak epidemic", "Disease"),
+    ("provenance source derivation lineage record", "Provenance"),
+    ("comment remark note feedback", "Comment"),
+]
+DISEASE = "flu virus infection epidemic reported"
+COMMENT = "comment remark feedback left by reviewer"
+
+
+@pytest.fixture()
+def db():
+    database = Database()
+    database.create_table("r_tab", [
+        Column("a", ValueType.INT), Column("b", ValueType.INT),
+        Column("c", ValueType.TEXT),
+    ])
+    database.create_table("s_tab", [
+        Column("x", ValueType.INT), Column("y", ValueType.TEXT),
+        Column("z", ValueType.TEXT),
+    ])
+    database.create_classifier_instance(
+        "ClassBird2", ["Disease", "Provenance", "Comment"], SEEDS
+    )
+    database.manager.link("r_tab", "ClassBird2")
+    database.manager.link("s_tab", "ClassBird2")
+    return database
+
+
+class TestSharedAnnotationDedup:
+    def test_join_does_not_double_count(self, db):
+        """An annotation attached to both r and s contributes ONCE to the
+        merged classifier counts (the paper's 22-not-27 example)."""
+        from repro.annotations.annotation import AnnotationTarget
+
+        r_oid = db.insert("r_tab", {"a": 1, "b": 2, "c": "x"})
+        s_oid = db.insert("s_tab", {"x": 1, "y": "u", "z": "v"})
+        # 2 r-only comments, 3 s-only comments, 5 SHARED comments.
+        for _ in range(2):
+            db.add_annotation(COMMENT, table="r_tab", oid=r_oid)
+        for _ in range(3):
+            db.add_annotation(COMMENT, table="s_tab", oid=s_oid)
+        for _ in range(5):
+            db.add_annotation(COMMENT, targets=[
+                AnnotationTarget("r_tab", r_oid, ()),
+                AnnotationTarget("s_tab", s_oid, ()),
+            ])
+        result = db.sql(
+            "Select r.a, s.z From r_tab r, s_tab s Where r.a = s.x"
+        )
+        counts = dict(result.summaries(0)["ClassBird2"])
+        # 2 + 3 + 5 = 10, not 2 + 3 + 5 + 5 = 15.
+        assert counts["Comment"] == 10
+
+    def test_self_join_full_overlap(self, db):
+        r_oid = db.insert("r_tab", {"a": 1, "b": 2, "c": "x"})
+        for _ in range(4):
+            db.add_annotation(DISEASE, table="r_tab", oid=r_oid)
+        result = db.sql(
+            "Select v1.a From r_tab v1, r_tab v2 Where v1.a = v2.a"
+        )
+        counts = dict(result.summaries(0)["ClassBird2"])
+        assert counts["Disease"] == 4  # identical sets merge to themselves
+
+
+class TestProjectionBeforeMerge:
+    def test_cell_annotations_on_projected_out_columns_eliminated(self, db):
+        """Example 1 step 1: r.c is projected out, so annotations attached
+        to r.c leave the propagated summaries BEFORE the join merge."""
+        r_oid = db.insert("r_tab", {"a": 1, "b": 2, "c": "x"})
+        s_oid = db.insert("s_tab", {"x": 1, "y": "u", "z": "v"})
+        db.add_annotation(COMMENT, table="r_tab", oid=r_oid,
+                          columns=("c",))  # eliminated with r.c
+        db.add_annotation(COMMENT, table="r_tab", oid=r_oid)  # row-level
+        db.add_annotation(COMMENT, table="s_tab", oid=s_oid)
+        result = db.sql(
+            "Select r.a, r.b, s.z From r_tab r, s_tab s Where r.a = s.x"
+        )
+        counts = dict(result.summaries(0)["ClassBird2"])
+        assert counts["Comment"] == 2  # the cell-attached one is gone
+
+    def test_join_column_annotations_kept_until_after_join(self, db):
+        """s.x is needed by the join and only projected out afterwards —
+        but its annotations' effect is eliminated from the OUTPUT because
+        s.x is not in the final projection (plan-invariant semantics:
+        elimination happens at the scans in every plan)."""
+        r_oid = db.insert("r_tab", {"a": 1, "b": 2, "c": "x"})
+        s_oid = db.insert("s_tab", {"x": 1, "y": "u", "z": "v"})
+        db.add_annotation(COMMENT, table="s_tab", oid=s_oid, columns=("x",))
+        db.add_annotation(COMMENT, table="s_tab", oid=s_oid, columns=("z",))
+        result = db.sql(
+            "Select r.a, s.z From r_tab r, s_tab s Where r.a = s.x"
+        )
+        counts = dict(result.summaries(0)["ClassBird2"])
+        assert counts["Comment"] == 1  # only the z-attached one survives
+
+
+class TestClusterRepresentativeReelection:
+    def test_projection_reelects_dropped_representative(self):
+        db = Database()
+        db.create_table("t", [
+            Column("a", ValueType.TEXT), Column("b", ValueType.TEXT),
+        ])
+        db.create_cluster_instance("Sim")
+        db.manager.link("t", "Sim")
+        oid = db.insert("t", {"a": "keep", "b": "drop"})
+        # Three similar annotations forming one cluster; attach them to
+        # different columns so projection can eliminate some.
+        texts = [
+            "wetland lake marsh reed shoreline habitat water",
+            "marsh wetland reed lake habitat shoreline water",
+            "reed marsh lake wetland water habitat shoreline",
+        ]
+        db.add_annotation(texts[0], table="t", oid=oid, columns=("b",))
+        db.add_annotation(texts[1], table="t", oid=oid, columns=("a",))
+        db.add_annotation(texts[2], table="t", oid=oid, columns=("a",))
+        stored = db.manager.summary_set_for("t", oid) \
+            .get_summary_object("Sim")
+        assert sum(size for _r, size in stored.rep()) == 3
+        # Project out b: the b-attached annotation leaves its group; if it
+        # was the representative, another member takes over.
+        result = db.sql("Select a From t")
+        merged = result.summaries(0)["Sim"]
+        assert sum(size for _r, size in merged) == 2
+        rep_text = merged[0][0]
+        assert rep_text  # a representative exists and is a member excerpt

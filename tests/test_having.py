@@ -1,0 +1,102 @@
+"""HAVING: post-group selection over aggregates, select aliases, and —
+the summary-aware twist — the groups' merged annotation summaries."""
+
+import pytest
+
+from repro import Column, Database, ValueType
+
+SEEDS = [
+    ("flu virus infection outbreak", "Disease"),
+    ("survey checklist volunteer", "Other"),
+]
+DISEASE_TEXT = "flu virus infection outbreak detected"
+EXPR = "$.getSummaryObject('C').getLabelValue('Disease')"
+
+
+@pytest.fixture()
+def db():
+    database = Database()
+    database.create_table("t", [
+        Column("g", ValueType.TEXT), Column("v", ValueType.INT),
+    ])
+    database.create_classifier_instance("C", ["Disease", "Other"], SEEDS)
+    database.manager.link("t", "C")
+    data = [("a", 1, 2), ("a", 2, 1), ("a", 3, 0),
+            ("b", 4, 0), ("b", 5, 0), ("c", 6, 4)]
+    for g, v, diseases in data:
+        oid = database.insert("t", {"g": g, "v": v})
+        for _ in range(diseases):
+            database.add_annotation(DISEASE_TEXT, table="t", oid=oid)
+    return database
+
+
+class TestAggregateHaving:
+    def test_count_star(self, db):
+        r = db.sql("Select g, count(*) n From t Group By g "
+                   "Having count(*) > 1 Order By g")
+        assert r.rows == [{"g": "a", "n": 3}, {"g": "b", "n": 2}]
+
+    def test_having_only_aggregate(self, db):
+        # sum(v) appears in HAVING but not in the select list.
+        r = db.sql("Select g From t Group By g Having sum(v) >= 9 "
+                   "Order By g")
+        assert r.column("g") == ["b"]
+
+    def test_select_alias_in_having(self, db):
+        r = db.sql("Select g, count(*) n From t Group By g Having n > 2")
+        assert r.rows == [{"g": "a", "n": 3}]
+
+    def test_having_with_boolean_logic(self, db):
+        r = db.sql(
+            "Select g, count(*) n From t Group By g "
+            "Having n > 1 And sum(v) < 7 Order By g"
+        )
+        assert r.column("g") == ["a"]
+
+    def test_having_on_group_key(self, db):
+        r = db.sql("Select g From t Group By g Having g <> 'a' Order By g")
+        assert r.column("g") == ["b", "c"]
+
+    def test_having_all_filtered(self, db):
+        r = db.sql("Select g From t Group By g Having count(*) > 10")
+        assert len(r) == 0
+
+
+class TestSummaryHaving:
+    def test_having_on_merged_summaries(self, db):
+        # Group 'a' merges 3 tuples' summaries: 2+1+0 = 3 disease
+        # annotations; 'c' has 4; 'b' has none.
+        r = db.sql(
+            f"Select g From t r Group By g Having r.{EXPR} >= 3 Order By g"
+        )
+        assert r.column("g") == ["a", "c"]
+
+    def test_summary_having_mixed_with_aggregate(self, db):
+        r = db.sql(
+            f"Select g, count(*) n From t r Group By g "
+            f"Having r.{EXPR} >= 3 And count(*) > 1"
+        )
+        assert r.rows == [{"g": "a", "n": 2}] or r.column("g") == ["a"]
+
+    def test_plans_as_summary_select_above_group(self, db):
+        report = db.explain(
+            f"Select g From t r Group By g Having r.{EXPR} >= 3"
+        )
+        logical = report.logical
+        assert "SummarySelect" in logical
+        assert logical.index("SummarySelect") < logical.index("Group")
+
+
+class TestEdges:
+    def test_having_without_group_by_is_global(self, db):
+        r = db.sql("Select count(*) n From t Having count(*) > 3")
+        assert r.rows == [{"n": 6}]
+        r2 = db.sql("Select count(*) n From t Having count(*) > 10")
+        assert len(r2) == 0
+
+    def test_having_then_order_and_limit(self, db):
+        r = db.sql(
+            "Select g, sum(v) s From t Group By g Having sum(v) > 3 "
+            "Order By s Desc Limit 1"
+        )
+        assert r.rows == [{"g": "b", "s": 9}]

@@ -1,0 +1,124 @@
+"""Single-file database images: save/load round-trips for data, summary
+objects, indexes, and annotation state — with mutations after restore."""
+
+import pytest
+
+from repro import Column, Database, ValueType
+from repro.errors import QueryError
+
+SEEDS = [
+    ("flu virus infection outbreak", "Disease"),
+    ("survey checklist volunteer", "Other"),
+]
+DISEASE = "$.getSummaryObject('C').getLabelValue('Disease')"
+
+
+def build() -> Database:
+    db = Database()
+    db.create_table("t", [Column("name", ValueType.TEXT)])
+    db.create_classifier_instance("C", ["Disease", "Other"], SEEDS)
+    db.create_snippet_instance("S", min_chars=40, max_chars=100)
+    db.sql("Alter Table t Add Indexable C")
+    db.manager.link("t", "S")
+    for i in range(4):
+        oid = db.insert("t", {"name": f"n{i}"})
+        for _ in range(i):
+            db.add_annotation("flu virus infection outbreak noted",
+                              table="t", oid=oid)
+    db.analyze("t")
+    return db
+
+
+@pytest.fixture()
+def image(tmp_path):
+    db = build()
+    path = tmp_path / "db.indb"
+    db.save(path)
+    return db, path
+
+
+class TestRoundTrip:
+    def test_data_survives(self, image):
+        _db, path = image
+        restored = Database.load(path)
+        assert restored.sql("Select count(*) n From t").scalar() == 4
+
+    def test_summaries_survive(self, image):
+        _db, path = image
+        restored = Database.load(path)
+        result = restored.sql(
+            f"Select name From t r Where r.{DISEASE} >= 2 Order By name"
+        )
+        assert result.column("name") == ["n2", "n3"]
+
+    def test_summary_index_survives_and_serves_queries(self, image):
+        _db, path = image
+        restored = Database.load(path)
+        assert ("t", "C") in restored.summary_indexes
+        restored.options.force_access = "index"
+        report = restored.explain(
+            f"Select * From t r Where r.{DISEASE} = 3"
+        )
+        restored.options.force_access = None
+        assert "SummaryIndexScan" in report.physical
+
+    def test_zoom_survives(self, image):
+        _db, path = image
+        restored = Database.load(path)
+        assert len(restored.zoom_in("t", 4, "C", "Disease")) == 3
+
+    def test_mutations_after_restore(self, image):
+        _db, path = image
+        restored = Database.load(path)
+        oid = restored.insert("t", {"name": "fresh"})
+        restored.add_annotation("flu virus infection outbreak again",
+                                table="t", oid=oid)
+        result = restored.sql(
+            f"Select name From t r Where r.{DISEASE} = 1"
+        )
+        assert "fresh" in {t.get("name") for t in result.tuples}
+
+    def test_restored_is_independent(self, image):
+        db, path = image
+        restored = Database.load(path)
+        restored.insert("t", {"name": "only-in-restored"})
+        assert db.sql("Select count(*) n From t").scalar() == 4
+        assert restored.sql("Select count(*) n From t").scalar() == 5
+
+    def test_statistics_survive(self, image):
+        _db, path = image
+        restored = Database.load(path)
+        stats = restored.statistics.table_stats("t")
+        assert stats.row_count == 4
+
+
+class TestImageFormat:
+    def test_not_an_image(self, tmp_path):
+        path = tmp_path / "junk.bin"
+        path.write_bytes(b"definitely not a database")
+        with pytest.raises(QueryError):
+            Database.load(path)
+
+    def test_version_checked(self, tmp_path, image):
+        _db, path = image
+        data = bytearray(path.read_bytes())
+        offset = len(Database._IMAGE_MAGIC)
+        data[offset:offset + 2] = (99).to_bytes(2, "big")
+        bad = tmp_path / "future.indb"
+        bad.write_bytes(bytes(data))
+        with pytest.raises(QueryError):
+            Database.load(bad)
+
+    def test_udfs_not_persisted_but_registry_intact(self, tmp_path):
+        db = build()
+        db.register_udf("hot", lambda s: True)
+        path = tmp_path / "db.indb"
+        db.save(path)
+        # the live database keeps its UDFs ...
+        assert "hot" in db.manager.udfs
+        restored = Database.load(path)
+        # ... but the image does not carry them
+        assert restored.manager.udfs == {}
+        restored.register_udf("hot", lambda s: True)
+        result = restored.sql("Select name From t r Where hot(r.$)")
+        assert len(result) == 4

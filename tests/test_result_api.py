@@ -1,0 +1,71 @@
+"""Tests for the ResultSet surface — what downstream users consume."""
+
+import pytest
+
+from repro import Column, Database, ValueType
+
+
+@pytest.fixture(scope="module")
+def db():
+    database = Database()
+    database.create_table("t", [
+        Column("name", ValueType.TEXT),
+        Column("score", ValueType.INT),
+    ])
+    database.create_classifier_instance(
+        "C", ["Yes", "No"],
+        [("good fine yes great", "Yes"), ("bad no terrible", "No")],
+    )
+    database.manager.link("t", "C")
+    for i, name in enumerate(["alpha", "beta", "gamma"]):
+        oid = database.insert("t", {"name": name, "score": i * 10})
+        database.add_annotation("good fine great", table="t", oid=oid)
+    return database
+
+
+class TestResultSet:
+    def test_len_and_iter(self, db):
+        result = db.sql("Select name From t")
+        assert len(result) == 3
+        assert len(list(result)) == 3
+
+    def test_rows_as_dicts(self, db):
+        result = db.sql("Select name, score From t Order By score")
+        assert result.rows[0] == {"name": "alpha", "score": 0}
+        assert result.rows[-1]["score"] == 20
+
+    def test_column_accessor(self, db):
+        result = db.sql("Select name From t Order By name")
+        assert result.column("name") == ["alpha", "beta", "gamma"]
+
+    def test_scalar(self, db):
+        assert db.sql("Select count(*) n From t").scalar() == 3
+
+    def test_scalar_rejects_multirow(self, db):
+        with pytest.raises(ValueError):
+            db.sql("Select name From t").scalar()
+
+    def test_summaries_display(self, db):
+        result = db.sql("Select name From t Where name = 'alpha'")
+        display = result.summaries(0)
+        assert display["C"] == [("Yes", 1), ("No", 0)]
+
+    def test_to_table_renders_all_columns(self, db):
+        text = db.sql("Select name, score From t").to_table()
+        assert "name" in text and "score" in text
+        assert "alpha" in text
+
+    def test_to_table_truncates(self, db):
+        text = db.sql("Select name From t").to_table(max_rows=1)
+        assert "(3 rows total)" in text
+
+    def test_stats_present_after_execution(self, db):
+        result = db.sql("Select name From t")
+        assert "elapsed_s" in result.stats
+        assert "plan" in result.stats
+        assert result.stats["io_reads"] >= 0
+
+    def test_empty_result_keeps_columns(self, db):
+        result = db.sql("Select name From t Where name = 'nope'")
+        assert len(result) == 0
+        assert result.columns  # projection headers survive empty results

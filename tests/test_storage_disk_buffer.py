@@ -1,0 +1,142 @@
+"""Unit tests for the disk manager and buffer pool."""
+
+import pytest
+
+from repro.errors import BufferPoolError, StorageError
+from repro.storage.buffer import BufferPool
+from repro.storage.disk import DiskManager
+
+
+def test_allocate_read_write_roundtrip():
+    disk = DiskManager()
+    pid = disk.allocate_page()
+    data = bytearray(disk.page_size)
+    data[0:5] = b"hello"
+    disk.write_page(pid, data)
+    assert bytes(disk.read_page(pid)[0:5]) == b"hello"
+
+
+def test_io_counters():
+    disk = DiskManager()
+    pid = disk.allocate_page()
+    disk.write_page(pid, bytearray(disk.page_size))
+    disk.read_page(pid)
+    disk.read_page(pid)
+    assert disk.stats.writes == 1
+    assert disk.stats.reads == 2
+    assert disk.stats.total == 3
+
+
+def test_stats_snapshot_delta():
+    disk = DiskManager()
+    pid = disk.allocate_page()
+    before = disk.stats.snapshot()
+    disk.read_page(pid)
+    delta = disk.stats.delta(before)
+    assert delta.reads == 1
+    assert delta.writes == 0
+
+
+def test_deallocate_and_recycle():
+    disk = DiskManager()
+    a = disk.allocate_page()
+    disk.deallocate_page(a)
+    b = disk.allocate_page()
+    assert b == a
+    assert disk.num_pages == 1
+
+
+def test_read_unallocated_raises():
+    disk = DiskManager()
+    with pytest.raises(StorageError):
+        disk.read_page(0)
+    pid = disk.allocate_page()
+    disk.deallocate_page(pid)
+    with pytest.raises(StorageError):
+        disk.read_page(pid)
+
+
+def test_write_wrong_size_raises():
+    disk = DiskManager()
+    pid = disk.allocate_page()
+    with pytest.raises(StorageError):
+        disk.write_page(pid, b"short")
+
+
+def test_buffer_pool_hit_avoids_disk_read():
+    disk = DiskManager()
+    pool = BufferPool(disk, capacity=4)
+    pid = pool.new_page()
+    pool.flush_all()
+    reads_before = disk.stats.reads
+    pool.get_page(pid)
+    pool.get_page(pid)
+    assert disk.stats.reads == reads_before  # both were hits
+    assert pool.hits >= 2
+
+
+def test_buffer_pool_eviction_writes_dirty_pages():
+    disk = DiskManager()
+    pool = BufferPool(disk, capacity=2)
+    pids = [pool.new_page() for _ in range(3)]  # forces one eviction
+    for pid in pids:
+        data = pool.get_page(pid)
+        data[0] = 7
+        pool.mark_dirty(pid)
+    pool.flush_all()
+    for pid in pids:
+        assert disk.read_page(pid)[0] == 7
+
+
+def test_buffer_pool_cold_read_counts_miss():
+    disk = DiskManager()
+    pool = BufferPool(disk, capacity=2)
+    pid = pool.new_page()
+    data = pool.get_page(pid)
+    data[1] = 9
+    pool.mark_dirty(pid)
+    pool.clear()  # flush + drop everything
+    misses_before = pool.misses
+    page = pool.get_page(pid)
+    assert pool.misses == misses_before + 1
+    assert page[1] == 9
+
+
+def test_pinned_pages_cannot_all_be_evicted():
+    disk = DiskManager()
+    pool = BufferPool(disk, capacity=2)
+    a = pool.new_page()
+    b = pool.new_page()
+    pool.pin(a)
+    pool.pin(b)
+    with pytest.raises(BufferPoolError):
+        pool.new_page()
+    pool.unpin(a)
+    pool.new_page()  # now an eviction victim exists
+
+
+def test_unpin_unpinned_raises():
+    disk = DiskManager()
+    pool = BufferPool(disk, capacity=2)
+    pid = pool.new_page()
+    with pytest.raises(BufferPoolError):
+        pool.unpin(pid)
+
+
+def test_free_page_removes_from_pool_and_disk():
+    disk = DiskManager()
+    pool = BufferPool(disk, capacity=2)
+    pid = pool.new_page()
+    pool.free_page(pid)
+    with pytest.raises(StorageError):
+        disk.read_page(pid)
+
+
+def test_hit_rate():
+    disk = DiskManager()
+    pool = BufferPool(disk, capacity=4)
+    pid = pool.new_page()
+    pool.clear()
+    pool.get_page(pid)  # miss
+    pool.get_page(pid)  # hit
+    assert 0.0 < pool.hit_rate < 1.0

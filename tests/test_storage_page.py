@@ -1,0 +1,128 @@
+"""Unit tests for the slotted page."""
+
+import pytest
+
+from repro.errors import PageFullError, RecordNotFoundError
+from repro.storage.page import PAGE_SIZE, SlottedPage
+
+
+def test_new_page_is_empty():
+    page = SlottedPage()
+    assert page.num_slots == 0
+    assert page.records() == []
+    assert page.free_end == PAGE_SIZE
+
+
+def test_insert_and_read_roundtrip():
+    page = SlottedPage()
+    slot = page.insert(b"hello")
+    assert page.read(slot) == b"hello"
+
+
+def test_multiple_inserts_get_distinct_slots():
+    page = SlottedPage()
+    slots = [page.insert(f"rec{i}".encode()) for i in range(10)]
+    assert len(set(slots)) == 10
+    for i, slot in enumerate(slots):
+        assert page.read(slot) == f"rec{i}".encode()
+
+
+def test_delete_tombstones_slot():
+    page = SlottedPage()
+    a = page.insert(b"aaa")
+    b = page.insert(b"bbb")
+    page.delete(a)
+    with pytest.raises(RecordNotFoundError):
+        page.read(a)
+    assert page.read(b) == b"bbb"
+
+
+def test_delete_compacts_and_keeps_other_records_readable():
+    page = SlottedPage()
+    slots = [page.insert(bytes([65 + i]) * 20) for i in range(5)]
+    before_free = page.free_space
+    page.delete(slots[2])
+    assert page.free_space == before_free + 20
+    for i in (0, 1, 3, 4):
+        assert page.read(slots[i]) == bytes([65 + i]) * 20
+
+
+def test_slot_reuse_after_delete():
+    page = SlottedPage()
+    a = page.insert(b"first")
+    page.insert(b"second")
+    page.delete(a)
+    c = page.insert(b"third")
+    assert c == a  # tombstone slot is recycled
+    assert page.read(c) == b"third"
+
+
+def test_update_same_size_in_place():
+    page = SlottedPage()
+    slot = page.insert(b"aaaa")
+    page.update(slot, b"bbbb")
+    assert page.read(slot) == b"bbbb"
+
+
+def test_update_grows_record():
+    page = SlottedPage()
+    slot = page.insert(b"tiny")
+    other = page.insert(b"other")
+    page.update(slot, b"a much longer record body")
+    assert page.read(slot) == b"a much longer record body"
+    assert page.read(other) == b"other"
+
+
+def test_update_shrinks_record():
+    page = SlottedPage()
+    slot = page.insert(b"a fairly long record body here")
+    page.update(slot, b"sm")
+    assert page.read(slot) == b"sm"
+
+
+def test_page_full_raises():
+    page = SlottedPage()
+    big = b"x" * SlottedPage.max_record_size()
+    page.insert(big)
+    with pytest.raises(PageFullError):
+        page.insert(b"y")
+
+
+def test_can_fit_accounts_for_slot_overhead():
+    page = SlottedPage()
+    assert page.can_fit(page.free_space - 4)
+    assert not page.can_fit(page.free_space)
+
+
+def test_fill_page_with_small_records():
+    page = SlottedPage()
+    count = 0
+    while page.can_fit(16):
+        page.insert(b"r" * 16)
+        count += 1
+    assert count > 300  # 8K page holds plenty of 16-byte records
+    assert page.live_count() == count
+
+
+def test_delete_all_then_refill():
+    page = SlottedPage()
+    slots = [page.insert(b"z" * 32) for _ in range(50)]
+    for slot in slots:
+        page.delete(slot)
+    assert page.live_count() == 0
+    refill = [page.insert(b"w" * 32) for _ in range(50)]
+    assert page.live_count() == 50
+    for slot in refill:
+        assert page.read(slot) == b"w" * 32
+
+
+def test_empty_record_rejected():
+    page = SlottedPage()
+    with pytest.raises(Exception):
+        page.insert(b"")
+
+
+def test_read_bad_slot_raises():
+    page = SlottedPage()
+    with pytest.raises(RecordNotFoundError):
+        page.read(0)

@@ -1,0 +1,207 @@
+"""Unit tests for the record codec and heap files."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import PageFullError, SchemaError
+from repro.storage.buffer import BufferPool
+from repro.storage.disk import DiskManager
+from repro.storage.heapfile import HeapFile, RID
+from repro.storage.record import RecordCodec, ValueType
+
+
+def make_heap(capacity=64):
+    return HeapFile(BufferPool(DiskManager(), capacity=capacity))
+
+
+class TestRecordCodec:
+    def test_roundtrip_all_types(self):
+        codec = RecordCodec(
+            [ValueType.INT, ValueType.FLOAT, ValueType.TEXT,
+             ValueType.BOOL, ValueType.BLOB]
+        )
+        row = [42, 3.25, "swan goose", True, b"\x00\xff"]
+        assert codec.decode(codec.encode(row)) == row
+
+    def test_nulls_roundtrip(self):
+        codec = RecordCodec([ValueType.INT, ValueType.TEXT, ValueType.FLOAT])
+        row = [None, None, None]
+        assert codec.decode(codec.encode(row)) == row
+
+    def test_mixed_nulls(self):
+        codec = RecordCodec([ValueType.INT, ValueType.TEXT])
+        assert codec.decode(codec.encode([7, None])) == [7, None]
+        assert codec.decode(codec.encode([None, "x"])) == [None, "x"]
+
+    def test_unicode_text(self):
+        codec = RecordCodec([ValueType.TEXT])
+        row = ["Anser cygnoïdes — 鴻雁"]
+        assert codec.decode(codec.encode(row)) == row
+
+    def test_wrong_arity_raises(self):
+        codec = RecordCodec([ValueType.INT])
+        with pytest.raises(SchemaError):
+            codec.encode([1, 2])
+
+    def test_type_mismatch_raises(self):
+        codec = RecordCodec([ValueType.INT])
+        with pytest.raises(SchemaError):
+            codec.encode(["not an int"])
+
+    def test_bool_is_not_int(self):
+        codec = RecordCodec([ValueType.INT])
+        with pytest.raises(SchemaError):
+            codec.encode([True])
+
+    @given(
+        st.lists(
+            st.one_of(
+                st.none(),
+                st.integers(min_value=-(2**62), max_value=2**62),
+            ),
+            min_size=1,
+            max_size=8,
+        )
+    )
+    @settings(max_examples=50)
+    def test_property_int_rows_roundtrip(self, row):
+        codec = RecordCodec([ValueType.INT] * len(row))
+        assert codec.decode(codec.encode(row)) == row
+
+    @given(st.lists(st.text(max_size=60), min_size=1, max_size=5))
+    @settings(max_examples=50)
+    def test_property_text_rows_roundtrip(self, row):
+        codec = RecordCodec([ValueType.TEXT] * len(row))
+        assert codec.decode(codec.encode(row)) == row
+
+
+class TestHeapFile:
+    def test_insert_read_roundtrip(self):
+        heap = make_heap()
+        rid = heap.insert(b"record-1")
+        assert heap.read(rid) == b"record-1"
+
+    def test_len_tracks_inserts_and_deletes(self):
+        heap = make_heap()
+        rids = [heap.insert(f"r{i}".encode()) for i in range(20)]
+        assert len(heap) == 20
+        heap.delete(rids[0])
+        assert len(heap) == 19
+
+    def test_spills_to_multiple_pages(self):
+        heap = make_heap()
+        payload = b"x" * 1000
+        rids = [heap.insert(payload) for _ in range(30)]
+        assert heap.num_pages > 1
+        for rid in rids:
+            assert heap.read(rid) == payload
+
+    def test_scan_yields_all_live_records(self):
+        heap = make_heap()
+        rids = [heap.insert(f"rec-{i:03d}".encode()) for i in range(100)]
+        heap.delete(rids[10])
+        heap.delete(rids[50])
+        seen = {record for _, record in heap.scan()}
+        assert len(seen) == 98
+        assert b"rec-010" not in seen
+
+    def test_update_in_place_keeps_rid(self):
+        heap = make_heap()
+        rid = heap.insert(b"short")
+        new_rid = heap.update(rid, b"shrt2")
+        assert new_rid == rid
+        assert heap.read(rid) == b"shrt2"
+
+    def test_update_that_moves_returns_new_rid(self):
+        heap = make_heap()
+        # Fill a page almost completely so a grown record must relocate.
+        filler = b"f" * 2500
+        rids = [heap.insert(filler) for _ in range(3)]
+        target = rids[1]
+        new_rid = heap.update(target, b"g" * 4000)
+        assert heap.read(new_rid) == b"g" * 4000
+        assert len(heap) == 3
+
+    def test_oversize_record_spills_to_overflow_chain(self):
+        heap = make_heap()
+        payload = bytes(range(256)) * 80  # ~20 KB, spans multiple pages
+        rid = heap.insert(payload)
+        assert heap.read(rid) == payload
+        assert heap._overflow_pages >= 3
+
+    def test_overflow_pages_freed_on_delete(self):
+        heap = make_heap()
+        rid = heap.insert(b"z" * 30000)
+        pages_with = heap.num_pages
+        heap.delete(rid)
+        assert heap._overflow_pages == 0
+        assert heap.num_pages < pages_with
+
+    def test_overflow_update_shrinks_back_inline(self):
+        heap = make_heap()
+        rid = heap.insert(b"w" * 20000)
+        new_rid = heap.update(rid, b"small")
+        assert heap.read(new_rid) == b"small"
+        assert heap._overflow_pages == 0
+
+    def test_inline_update_grows_to_overflow(self):
+        heap = make_heap()
+        rid = heap.insert(b"tiny")
+        big = b"y" * 25000
+        new_rid = heap.update(rid, big)
+        assert heap.read(new_rid) == big
+
+    def test_overflow_survives_cold_cache(self):
+        heap = make_heap(capacity=2)
+        payload = b"c" * 40000
+        rid = heap.insert(payload)
+        heap.pool.clear()
+        assert heap.read(rid) == payload
+
+    def test_mixed_inline_and_overflow_scan(self):
+        heap = make_heap()
+        heap.insert(b"short-1")
+        heap.insert(b"L" * 15000)
+        heap.insert(b"short-2")
+        lengths = sorted(len(r) for _, r in heap.scan())
+        assert lengths == [7, 7, 15000]
+
+    def test_rids_stable_across_deletes(self):
+        heap = make_heap()
+        rids = [heap.insert(f"v{i}".encode()) for i in range(10)]
+        heap.delete(rids[3])
+        for i in (0, 1, 2, 4, 5, 6, 7, 8, 9):
+            assert heap.read(rids[i]) == f"v{i}".encode()
+
+    def test_drop_frees_pages(self):
+        heap = make_heap()
+        for _ in range(50):
+            heap.insert(b"y" * 500)
+        disk = heap.pool.disk
+        assert disk.num_pages > 0
+        heap.drop()
+        # Only pages owned by other structures remain (none here).
+        assert heap.num_pages == 0
+        assert len(heap) == 0
+
+    def test_survives_cold_cache(self):
+        heap = make_heap(capacity=2)
+        rids = [heap.insert(f"cold-{i}".encode() * 10) for i in range(40)]
+        heap.pool.clear()
+        for i, rid in enumerate(rids):
+            assert heap.read(rid) == f"cold-{i}".encode() * 10
+
+    @given(st.lists(st.binary(min_size=1, max_size=200), min_size=1, max_size=60))
+    @settings(max_examples=30, deadline=None)
+    def test_property_insert_then_scan_returns_everything(self, records):
+        heap = make_heap()
+        for record in records:
+            heap.insert(record)
+        scanned = sorted(record for _, record in heap.scan())
+        assert scanned == sorted(records)
+
+    def test_rid_namedtuple(self):
+        rid = RID(3, 7)
+        assert rid.page_no == 3
+        assert rid.slot == 7

@@ -1,0 +1,196 @@
+"""Tests for the simulated usability studies (Figures 2 and 16)."""
+
+import pytest
+
+from repro.study import (
+    GroupResult,
+    HumanModel,
+    simulate_motivating_study,
+    simulate_usability_study,
+)
+from repro.study.dataset import (
+    REVISED_COUNT,
+    SWAN_COUNT,
+    StudyConfig,
+    build_study_database,
+)
+
+CONFIG = StudyConfig(num_birds=24, scale=0.04, seed=11)
+
+
+@pytest.fixture(scope="module")
+def db():
+    return build_study_database(CONFIG)
+
+
+class TestStudyDataset:
+    def test_swan_count(self, db):
+        swans = db.sql("Select name From birds Where name Like 'Swan%'")
+        assert len(swans) == SWAN_COUNT
+
+    def test_two_identical_size_revisions(self, db):
+        v1 = db.sql("Select name From birds")
+        v2 = db.sql("Select name From birds_v2")
+        assert len(v1) == len(v2) == CONFIG.num_birds
+
+    def test_revision_differences_are_findable(self, db):
+        expr = "$.getSummaryObject('ClassBird1').getLabelValue('Disease')"
+        diffs = db.sql(
+            "Select v1.name From birds v1, birds_v2 v2 "
+            f"Where v1.bird_id = v2.bird_id And v1.{expr} <> v2.{expr}"
+        )
+        assert len(diffs) == REVISED_COUNT
+
+    def test_density_respects_scale(self):
+        import random
+
+        config = StudyConfig(scale=0.1)
+        rng = random.Random(0)
+        densities = [config.density(rng) for _ in range(50)]
+        assert all(3 <= d <= 38 for d in densities)
+
+    def test_density_floor(self):
+        import random
+
+        config = StudyConfig(scale=0.001)
+        assert config.density(random.Random(0)) == 3
+
+    def test_summary_index_built(self, db):
+        assert ("birds", "ClassBird1") in db.summary_indexes
+
+
+class TestHumanModel:
+    def test_zero_items_zero_error(self):
+        assert HumanModel().error_rates(0) == (0.0, 0.0)
+
+    def test_error_rates_grow_with_fatigue(self):
+        model = HumanModel()
+        fp_small, fn_small = model.error_rates(model.reference_items)
+        fp_big, fn_big = model.error_rates(model.reference_items * 8)
+        assert fp_big > fp_small
+        assert fn_big > fn_small
+
+    def test_error_rates_at_reference_match_base(self):
+        model = HumanModel()
+        fp, fn = model.error_rates(model.reference_items)
+        assert fp == pytest.approx(model.base_fp)
+        assert fn == pytest.approx(model.base_fn)
+
+    def test_error_rates_capped(self):
+        model = HumanModel()
+        fp, fn = model.error_rates(10**9)
+        assert fp <= 0.5
+        assert fn <= 0.6
+
+
+class TestGroupResult:
+    def test_accuracy_perfect(self):
+        r = GroupResult("g", "Q", 1, 1.0, 0.1, 0.0, 0.0)
+        assert r.accuracy == 1.0
+
+    def test_accuracy_symmetric(self):
+        r = GroupResult("g", "Q", 1, 1.0, 0.1, 0.2, 0.4)
+        assert r.accuracy == pytest.approx(0.7)
+
+    def test_total_time(self):
+        r = GroupResult("g", "Q", 1, 10.0, 2.5, 0.0, 0.0)
+        assert r.total_s == pytest.approx(12.5)
+
+    def test_describe_feasible_and_not(self):
+        ok = GroupResult("g", "Q1", 1, 1.0, 0.0, 0.0, 0.0)
+        bad = GroupResult("g", "Q2", 1, 1.0, 0.0, 0.0, 0.0,
+                          feasible=False, notes="too many")
+        assert "acc" in ok.describe()
+        assert "infeasible" in bad.describe()
+
+
+class TestMotivatingStudy:
+    @pytest.fixture(scope="class")
+    def report(self, db):
+        return simulate_motivating_study(db, config=CONFIG)
+
+    def test_six_cells(self, report):
+        assert len(report.results) == 6
+
+    def test_insightnotes_always_perfect(self, report):
+        for q in ("Q1", "Q2", "Q3"):
+            r = report.result("InsightNotes", q)
+            assert r.accuracy == 1.0
+            assert r.feasible
+
+    def test_q1_qualifying_tuples(self, report):
+        assert report.result("InsightNotes", "Q1").qualifying == SWAN_COUNT
+
+    def test_q2_three_groups(self, report):
+        assert report.result("InsightNotes", "Q2").qualifying == 3
+
+    def test_raw_group_slower_on_q1_q2(self, report):
+        for q in ("Q1", "Q2"):
+            fast = report.result("InsightNotes", q)
+            slow = report.result("Raw-Annotations", q)
+            assert slow.total_s > fast.total_s
+
+    def test_raw_group_accumulates_errors(self, report):
+        r = report.result("Raw-Annotations", "Q1")
+        assert r.false_negatives > 0
+        assert r.accuracy < 1.0
+
+    def test_q3_raw_group_infeasible_at_paper_scale(self, report):
+        assert not report.result("Raw-Annotations", "Q3").feasible
+
+    def test_q3_insightnotes_needs_manual_sort(self, report):
+        r = report.result("InsightNotes", "Q3")
+        assert r.human_s > HumanModel().write_query_s  # sort cost charged
+
+    def test_report_str_mentions_all_queries(self, report):
+        text = str(report)
+        for q in ("Q1", "Q2", "Q3"):
+            assert q in text
+
+    def test_deterministic(self, db):
+        a = simulate_motivating_study(db, config=CONFIG, seed=3)
+        b = simulate_motivating_study(db, config=CONFIG, seed=3)
+        for x, y in zip(a.results, b.results):
+            assert x.false_positives == y.false_positives
+            assert x.false_negatives == y.false_negatives
+
+
+class TestUsabilityStudy:
+    @pytest.fixture(scope="class")
+    def report(self, db):
+        return simulate_usability_study(db, config=CONFIG)
+
+    def test_six_cells(self, report):
+        assert len(report.results) == 6
+
+    def test_plus_group_all_automated(self, report):
+        for q in ("Q1", "Q2", "Q3"):
+            r = report.result("InsightNotes+", q)
+            assert r.accuracy == 1.0
+            assert r.human_s == HumanModel().write_query_s
+
+    def test_plus_group_faster_everywhere(self, report):
+        for q in ("Q1", "Q2"):
+            plus = report.result("InsightNotes+", q)
+            basic = report.result("InsightNotes", q)
+            assert plus.total_s < basic.total_s
+
+    def test_q2_finds_revised_tuples(self, report):
+        assert report.result("InsightNotes+", "Q2").qualifying == REVISED_COUNT
+
+    def test_q3_basic_infeasible(self, report):
+        assert not report.result("InsightNotes", "Q3").feasible
+
+    def test_q3_plus_selects_diseased(self, db, report):
+        expr = "$.getSummaryObject('ClassBird1').getLabelValue('Disease')"
+        expected = db.sql(f"Select name From birds r Where r.{expr} > 3")
+        assert report.result("InsightNotes+", "Q3").qualifying == len(expected)
+
+    def test_rows_for_filters_by_query(self, report):
+        rows = report.rows_for("Q1")
+        assert len(rows) == 2
+        assert {r.group for r in rows} == {"InsightNotes", "InsightNotes+"}
+
+    def test_result_lookup_missing_raises(self, report):
+        with pytest.raises(KeyError):
+            report.result("NoSuchGroup", "Q1")

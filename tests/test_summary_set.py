@@ -1,0 +1,125 @@
+"""Tests for the $-variable (SummarySet) interface of §3.1."""
+
+import pytest
+
+from repro.errors import SummaryError
+from repro.summaries.functions import SummarySet
+from repro.summaries.objects import (
+    ClassifierObject,
+    ClusterGroup,
+    ClusterObject,
+    SnippetObject,
+    SummaryType,
+)
+
+
+def make_set():
+    c1 = ClassifierObject(instance_name="ClassBird1", tuple_id=1,
+                          labels=["Disease", "Anatomy"])
+    c1.add_annotation(1, "Disease", ())
+    c2 = ClassifierObject(instance_name="ClassBird2", tuple_id=1,
+                          labels=["Provenance", "Comment"])
+    snip = SnippetObject(instance_name="TextSummary1", tuple_id=1)
+    snip.add_annotation(2, (), "Experiment E studies hormones")
+    clus = ClusterObject(instance_name="SimCluster", tuple_id=1,
+                         groups=[ClusterGroup(3, {3}, {3: "a note"})])
+    clus.ann_targets[3] = ()
+    s = SummarySet()
+    for obj in (c1, c2, snip, clus):
+        s.add(obj)
+    return s
+
+
+class TestInterface:
+    def test_get_size(self):
+        # Figure 1(c): tuple r has four summary objects -> $.getSize() = 4.
+        assert make_set().get_size() == 4
+
+    def test_get_summary_object_by_name(self):
+        s = make_set()
+        assert s.get_summary_object("ClassBird1").get_summary_type() == "Classifier"
+        assert s.get_summary_object("TextSummary1").get_summary_type() == "Snippet"
+        assert s.get_summary_object("Missing") is None
+
+    def test_get_summary_object_by_position(self):
+        s = make_set()
+        names = {s.get_summary_object(i).get_summary_name() for i in range(4)}
+        assert names == {"ClassBird1", "ClassBird2", "TextSummary1", "SimCluster"}
+        assert s.get_summary_object(9) is None
+
+    def test_require_raises_for_missing(self):
+        with pytest.raises(SummaryError):
+            make_set().require("Nope")
+
+    def test_filter_by_type(self):
+        # §3.2 F operator: getSummaryType() = 'Classifier' keeps both
+        # classifier objects.
+        s = make_set()
+        filtered = s.filter(lambda o: o.get_summary_type() == "Classifier")
+        assert filtered.instance_names() == ["ClassBird1", "ClassBird2"]
+
+    def test_filter_by_name(self):
+        s = make_set()
+        filtered = s.filter(lambda o: o.get_summary_name() == "SimCluster")
+        assert filtered.instance_names() == ["SimCluster"]
+
+    def test_of_type(self):
+        s = make_set()
+        assert len(s.of_type(SummaryType.CLASSIFIER)) == 2
+        assert len(s.of_type(SummaryType.CLUSTER)) == 1
+
+
+class TestAlgebra:
+    def test_copy_independent(self):
+        s = make_set()
+        dup = s.copy()
+        dup.get_summary_object("ClassBird1").add_annotation(99, "Disease", ())
+        assert s.get_summary_object("ClassBird1").get_label_value("Disease") == 1
+        assert dup.get_summary_object("ClassBird1").get_label_value("Disease") == 2
+
+    def test_merge_unmatched_instances_propagate_unchanged(self):
+        # Example 1: ClassBird1/TextSummary1 have no counterpart on s, so
+        # they propagate as-is.
+        s = make_set()
+        other = SummarySet()
+        c2 = ClassifierObject(instance_name="ClassBird2", tuple_id=2,
+                              labels=["Provenance", "Comment"])
+        c2.add_annotation(50, "Comment", ())
+        other.add(c2)
+        s.merge(other)
+        assert s.get_size() == 4
+        assert s.get_summary_object("ClassBird2").get_label_value("Comment") == 1
+        assert s.get_summary_object("ClassBird1").get_label_value("Disease") == 1
+
+    def test_merge_adds_new_instances(self):
+        s = make_set()
+        other = SummarySet()
+        extra = ClassifierObject(instance_name="New", tuple_id=2, labels=["X"])
+        other.add(extra)
+        s.merge(other)
+        assert s.get_size() == 5
+
+    def test_merge_copies_foreign_objects(self):
+        s = SummarySet()
+        other = make_set()
+        s.merge(other)
+        s.get_summary_object("ClassBird1").add_annotation(77, "Disease", ())
+        assert other.get_summary_object("ClassBird1").get_label_value("Disease") == 1
+
+    def test_project_to_columns_applies_to_all_objects(self):
+        s = SummarySet()
+        clf = ClassifierObject(instance_name="C", tuple_id=1, labels=["L"])
+        clf.add_annotation(1, "L", ("dropped",))
+        clf.add_annotation(2, "L", ("kept",))
+        s.add(clf)
+        snip = SnippetObject(instance_name="S", tuple_id=1)
+        snip.add_annotation(1, ("dropped",), "about to vanish")
+        s.add(snip)
+        s.project_to_columns({"kept"})
+        assert s.get_summary_object("C").get_label_value("L") == 1
+        assert s.get_summary_object("S").get_size() == 0
+
+    def test_to_display_shows_reps(self):
+        display = make_set().to_display()
+        assert display["ClassBird1"] == [("Disease", 1), ("Anatomy", 0)]
+        assert display["SimCluster"] == [("a note", 1)]

@@ -1,0 +1,133 @@
+"""Black-box summary-set UDFs (§3.2): registration, evaluation in every
+clause, bind-time validation, and optimizer interaction."""
+
+import pytest
+
+from repro import Column, Database, ValueType
+from repro.errors import BindError
+
+
+def make_db() -> Database:
+    db = Database()
+    db.create_table("t", [Column("name", ValueType.TEXT),
+                          Column("grp", ValueType.TEXT)])
+    db.create_classifier_instance(
+        "C", ["Disease", "Other"],
+        [("flu outbreak infection", "Disease"), ("survey note", "Other")],
+    )
+    db.manager.link("t", "C")
+    for i in range(4):
+        oid = db.insert("t", {"name": f"n{i}", "grp": "g"})
+        for _ in range(i):
+            db.add_annotation("flu outbreak infection symptoms",
+                              table="t", oid=oid)
+    return db
+
+
+def disease_count(sset) -> int:
+    obj = sset.get_summary_object("C")
+    return obj.get_label_value("Disease") if obj is not None else 0
+
+
+class TestRegistrationAndEvaluation:
+    def test_udf_in_where(self):
+        db = make_db()
+        db.register_udf("hot", lambda s: disease_count(s) >= 2)
+        result = db.sql("Select name From t r Where hot(r.$)")
+        assert sorted(t.get("name") for t in result.tuples) == ["n2", "n3"]
+
+    def test_udf_with_extra_literal_argument(self):
+        db = make_db()
+        db.register_udf("atLeast", lambda s, n: disease_count(s) >= n)
+        result = db.sql("Select name From t r Where atLeast(r.$, 3)")
+        assert [t.get("name") for t in result.tuples] == ["n3"]
+
+    def test_udf_in_select_list(self):
+        db = make_db()
+        db.register_udf("dcount", disease_count)
+        result = db.sql("Select name, dcount(r.$) d From t r Order By name")
+        assert result.column("d") == [0, 1, 2, 3]
+
+    def test_udf_in_order_by(self):
+        db = make_db()
+        db.register_udf("dcount", disease_count)
+        result = db.sql("Select name From t r Order By dcount(r.$) Desc")
+        assert result.column("name") == ["n3", "n2", "n1", "n0"]
+
+    def test_udf_combined_with_data_predicate(self):
+        db = make_db()
+        db.register_udf("hot", lambda s: disease_count(s) >= 1)
+        result = db.sql(
+            "Select name From t r Where hot(r.$) And name <> 'n1'"
+        )
+        assert sorted(t.get("name") for t in result.tuples) == ["n2", "n3"]
+
+    def test_udf_plans_as_summary_select(self):
+        db = make_db()
+        db.register_udf("hot", lambda s: True)
+        report = db.explain("Select name From t r Where hot(r.$)")
+        assert "SummarySelect" in report.logical
+
+    def test_udf_sees_summary_set_interface(self):
+        db = make_db()
+        seen = {}
+
+        def probe(sset):
+            seen["size"] = sset.get_size()
+            return True
+
+        db.register_udf("probe", probe)
+        db.sql("Select name From t r Where probe(r.$)")
+        assert seen["size"] == 1  # one linked instance
+
+
+class TestValidation:
+    def test_unknown_udf_rejected_at_bind_time(self):
+        db = make_db()
+        with pytest.raises(BindError):
+            db.sql("Select name From t r Where nosuch(r.$)")
+
+    def test_bare_dollar_outside_udf_rejected(self):
+        db = make_db()
+        with pytest.raises(BindError):
+            db.sql("Select name From t r Where r.$ = 2")
+
+    def test_udf_with_unknown_alias_rejected(self):
+        db = make_db()
+        db.register_udf("hot", lambda s: True)
+        with pytest.raises(BindError):
+            db.sql("Select name From t r Where hot(zz.$)")
+
+    def test_udf_exception_propagates(self):
+        db = make_db()
+
+        def broken(_s):
+            raise RuntimeError("boom")
+
+        db.register_udf("broken", broken)
+        with pytest.raises(RuntimeError):
+            db.sql("Select name From t r Where broken(r.$)")
+
+
+class TestOptimizerInteraction:
+    def test_udf_predicate_never_uses_summary_index(self):
+        # Black-box UDFs cannot be matched to index keys — the plan must
+        # scan (the paper's "system can reason about ... explicit
+        # predicates" distinction, §3.2).
+        db = make_db()
+        db.create_summary_index("t", "C")
+        db.register_udf("hot", lambda s: disease_count(s) >= 2)
+        report = db.explain("Select * From t r Where hot(r.$)")
+        assert "SummaryIndexScan" not in report.physical
+
+    def test_explicit_predicate_same_rows_as_equivalent_udf(self):
+        db = make_db()
+        db.register_udf("hot", lambda s: disease_count(s) >= 2)
+        via_udf = db.sql("Select name From t r Where hot(r.$)")
+        via_expr = db.sql(
+            "Select name From t r Where "
+            "r.$.getSummaryObject('C').getLabelValue('Disease') >= 2"
+        )
+        assert sorted(map(str, via_udf.tuples)) == sorted(
+            map(str, via_expr.tuples)
+        )
