@@ -5,12 +5,14 @@ figure it regenerates.
 """
 
 from repro.bench.harness import (
+    CachedDatabaseMutated,
     FigureTable,
     Measurement,
     cached_database,
     clear_cache,
     fresh_database,
     measure,
+    measure_sql,
 )
 from repro.bench.presets import (
     FULL_SWEEP,
@@ -28,8 +30,10 @@ __all__ = [
     "PAPER_LABELS",
     "FULL_SWEEP",
     "active_preset",
+    "CachedDatabaseMutated",
     "cached_database",
     "fresh_database",
     "clear_cache",
     "measure",
+    "measure_sql",
 ]

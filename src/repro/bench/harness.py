@@ -24,6 +24,33 @@ from repro.storage.disk import IOStats
 from repro.workload.generator import WorkloadConfig, build_database
 
 _DB_CACHE: dict[tuple, Database] = {}
+#: config key -> the content fingerprint taken right after the build.
+_DB_FINGERPRINTS: dict[tuple, tuple] = {}
+
+
+class CachedDatabaseMutated(RuntimeError):
+    """A bench mutated a database leased from :func:`cached_database`.
+
+    Cached databases are shared across benches in a session; a mutation
+    silently poisons every later measurement, so the lease check fails
+    loudly instead.  Mutating benches must use :func:`fresh_database`.
+    """
+
+
+def _fingerprint(db: Database) -> tuple:
+    """A cheap content token: total disk pages plus per-table row counts.
+
+    ``disk.num_pages`` (not the allocations counter) because read-only
+    queries may allocate and free temp pages (external sort); the net page
+    count returns to baseline while the allocation counter does not.
+    """
+    return (
+        db.disk.num_pages,
+        tuple(
+            (name, db.catalog.table(name).row_count)
+            for name in sorted(db.catalog.table_names())
+        ),
+    )
 
 
 def cached_database(**config_kwargs) -> Database:
@@ -32,12 +59,26 @@ def cached_database(**config_kwargs) -> Database:
     Benches share sweeps (same densities, same index schemes); building a
     dense database costs tens of seconds, so one build serves all benches
     in a session.  Callers must not mutate cached databases — benches that
-    insert/delete build private copies via :func:`fresh_database`.
+    insert/delete build private copies via :func:`fresh_database`.  Every
+    lease re-checks a content fingerprint taken at build time and raises
+    :class:`CachedDatabaseMutated` if a previous caller broke that rule.
     """
     key = tuple(sorted(config_kwargs.items()))
     if key not in _DB_CACHE:
-        _DB_CACHE[key] = build_database(WorkloadConfig(**config_kwargs))
-    return _DB_CACHE[key]
+        db = build_database(WorkloadConfig(**config_kwargs))
+        _DB_CACHE[key] = db
+        _DB_FINGERPRINTS[key] = _fingerprint(db)
+        return db
+    db = _DB_CACHE[key]
+    expected = _DB_FINGERPRINTS[key]
+    actual = _fingerprint(db)
+    if actual != expected:
+        raise CachedDatabaseMutated(
+            f"cached database for {dict(config_kwargs)!r} was mutated "
+            f"(fingerprint {actual} != built {expected}); mutating benches "
+            "must use fresh_database()"
+        )
+    return db
 
 
 def fresh_database(**config_kwargs) -> Database:
@@ -47,6 +88,7 @@ def fresh_database(**config_kwargs) -> Database:
 
 def clear_cache() -> None:
     _DB_CACHE.clear()
+    _DB_FINGERPRINTS.clear()
 
 
 @dataclass
@@ -59,6 +101,13 @@ class Measurement:
     io: IOStats
     rows: int = 0
     pages: int = 0
+    #: EXPLAIN ANALYZE per-operator breakdown (from :func:`measure_sql`):
+    #: one dict per operator with label/rows/next_calls/self_time_s/
+    #: self_pages/self_reads/self_writes, pre-order.  Empty for plain
+    #: :func:`measure` runs.
+    operators: list[dict] = field(default_factory=list)
+    #: engine counter delta over the run (``maint.*``, ``index.*.probes``).
+    metrics: dict[str, float] = field(default_factory=dict)
 
     @property
     def millis(self) -> float:
@@ -94,6 +143,26 @@ def measure(db: Database, fn, repeat: int = 1) -> Measurement:
             except TypeError:
                 rows = 0
     return Measurement(best, io, rows, pages)
+
+
+def measure_sql(db: Database, query: str, repeat: int = 1) -> Measurement:
+    """Measure a SELECT via ``EXPLAIN ANALYZE``: like :func:`measure`, but
+    the returned :class:`Measurement` also carries the profiler's
+    per-operator breakdown and the engine counter delta (index probes,
+    maintenance events) of the best run."""
+    best: Measurement | None = None
+    for _ in range(repeat):
+        report = db.explain(query, analyze=True)
+        stats = report.execution
+        io = IOStats(reads=stats["io_reads"], writes=stats["io_writes"])
+        m = Measurement(
+            stats["elapsed_s"], io, stats["rows"], stats["pages"],
+            operators=stats["operators"], metrics=stats["metrics"],
+        )
+        if best is None or m.seconds < best.seconds:
+            best = m
+    assert best is not None
+    return best
 
 
 @dataclass

@@ -4,7 +4,8 @@ A small REPL over one in-process :class:`~repro.core.database.Database`,
 aimed at exploring the engine:
 
 * plain SQL statements run and print result tables,
-* ``EXPLAIN <select>`` shows the logical + physical plans,
+* ``EXPLAIN [ANALYZE] <select>`` shows the logical + physical plans
+  (ANALYZE also runs the query and annotates per-operator counters),
 * ``\\demo`` loads the seeded Birds workload (handy first command),
 * ``\\stats <table>``, ``\\instances``, ``\\tables`` inspect the catalog,
 * ``\\set <option> <value>`` flips any :class:`PlannerOptions` knob
@@ -16,7 +17,7 @@ from __future__ import annotations
 
 import sys
 
-from repro.core.database import Database
+from repro.core.database import Database, QueryReport
 from repro.errors import ReproError
 from repro.query.result import ResultSet
 
@@ -27,6 +28,7 @@ Commands:
   <SQL statement>          run it (SELECT / INSERT / UPDATE / DELETE /
                            CREATE TABLE / ALTER TABLE ... / ZOOM IN ...)
   EXPLAIN <select>         show the chosen logical and physical plans
+  EXPLAIN ANALYZE <select> run it too; annotate actual rows/time/pages
   \\demo [birds] [apt]      load the seeded Birds workload
                            (default 50 tuples x 20 annotations)
   \\tables                  list user tables
@@ -60,9 +62,9 @@ def execute_line(db: Database, line: str) -> str:
         return ""
     if line.startswith("\\"):
         return _execute_command(db, line[1:])
-    if line.upper().startswith("EXPLAIN "):
-        return str(db.explain(line[len("EXPLAIN "):]))
     result = db.sql(line)
+    if isinstance(result, QueryReport):
+        return str(result)
     if isinstance(result, ResultSet):
         stats = result.stats
         timing = (

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import pickle
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.annotations.annotation import AnnotationTarget
@@ -27,12 +27,15 @@ from repro.index.baseline import BaselineClassifierIndex
 from repro.index.keyword import TrigramKeywordIndex
 from repro.index.replica import NormalizedSnippetReplica
 from repro.index.summary_btree import SummaryBTreeIndex
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.profile import PlanProfiler
 from repro.optimizer.planner import Planner, PlannerOptions
 from repro.optimizer.statistics import StatisticsCatalog
 from repro.query.ast import (
     AlterTableSummary,
     CreateTableStmt,
     DeleteStmt,
+    ExplainStmt,
     InsertStmt,
     SelectItem,
     SelectStmt,
@@ -58,18 +61,39 @@ _TYPE_KEYWORDS = {
 
 @dataclass
 class QueryReport:
-    """EXPLAIN output: chosen logical plan + physical plan + cost."""
+    """EXPLAIN output: chosen logical plan + physical plan + cost.
+
+    ``EXPLAIN ANALYZE`` additionally executes the query and fills in
+    ``analyzed`` (the per-operator annotated plan tree), ``execution``
+    (run totals: elapsed, page accesses, disk I/O, per-operator entries,
+    metric deltas) and ``result`` (the :class:`ResultSet` itself).
+    """
 
     logical: str
     physical: str
     estimated_cost: float
+    analyzed: str | None = None
+    execution: dict = field(default_factory=dict)
+    result: "ResultSet | None" = None
 
     def __str__(self) -> str:
-        return (
+        text = (
             f"Estimated cost: {self.estimated_cost:.2f}\n"
             f"-- logical --\n{self.logical}\n"
             f"-- physical --\n{self.physical}"
         )
+        if self.analyzed is not None:
+            text += f"\n-- analyze --\n{self.analyzed}"
+            ex = self.execution
+            if ex:
+                text += (
+                    f"\nActual: {ex.get('rows', 0)} rows in "
+                    f"{ex.get('elapsed_s', 0.0) * 1e3:.2f} ms; "
+                    f"pages={ex.get('pages', 0)} "
+                    f"reads={ex.get('io_reads', 0)} "
+                    f"writes={ex.get('io_writes', 0)}"
+                )
+        return text
 
 
 class Database:
@@ -83,7 +107,8 @@ class Database:
         self.disk = DiskManager()
         self.pool = BufferPool(self.disk, capacity=buffer_pages)
         self.catalog = Catalog(self.pool)
-        self.manager = SummaryManager(self.pool)
+        self.metrics = MetricsRegistry()
+        self.manager = SummaryManager(self.pool, metrics=self.metrics)
         self.statistics = StatisticsCatalog(self.catalog, self.manager)
         self.summary_indexes: dict[tuple[str, str], SummaryBTreeIndex] = {}
         self.baseline_indexes: dict[tuple[str, str], BaselineClassifierIndex] = {}
@@ -340,6 +365,55 @@ class Database:
     def io_since(self, before: IOStats) -> IOStats:
         return self.disk.stats.delta(before)
 
+    # -- observability ----------------------------------------------------------------------------
+
+    def metrics_snapshot(self) -> dict[str, float]:
+        """One flat dict of every engine counter: the metrics registry
+        (maintenance events, timers), buffer-pool hits/misses, disk I/O,
+        and per-index probe counts.
+
+        Diff two snapshots with :meth:`MetricsRegistry.delta` to attribute
+        counters to a region of work.
+        """
+        snap = self.metrics.snapshot()
+        snap["pool.hits"] = self.pool.hits
+        snap["pool.misses"] = self.pool.misses
+        snap["pool.pages"] = self.pool.hits + self.pool.misses
+        snap["disk.reads"] = self.disk.stats.reads
+        snap["disk.writes"] = self.disk.stats.writes
+        snap["disk.allocations"] = self.disk.stats.allocations
+        for (table, instance), index in self.summary_indexes.items():
+            snap[f"index.summary.{table}.{instance}.probes"] = getattr(
+                index, "probes", 0
+            )
+            snap[f"index.summary.{table}.{instance}.rebuilds"] = index.rebuilds
+        for (table, instance), index in self.baseline_indexes.items():
+            snap[f"index.baseline.{table}.{instance}.probes"] = getattr(
+                index, "probes", 0
+            )
+        for (table, instance), index in self.keyword_indexes.items():
+            snap[f"index.keyword.{table}.{instance}.probes"] = getattr(
+                index, "probes", 0
+            )
+        return snap
+
+    def reset_metrics(self) -> None:
+        """Zero every counter :meth:`metrics_snapshot` reports: the
+        registry, the buffer-pool hit/miss counters, the disk
+        :class:`IOStats`, and the per-index probe counts.  Snapshots taken
+        before a reset are stale — re-snapshot after."""
+        self.metrics.reset()
+        self.pool.hits = 0
+        self.pool.misses = 0
+        self.disk.stats.reset()
+        for index in (
+            list(self.summary_indexes.values())
+            + list(self.baseline_indexes.values())
+            + list(self.keyword_indexes.values())
+        ):
+            if hasattr(index, "probes"):
+                index.probes = 0
+
     # -- queries ------------------------------------------------------------------------------------
 
     def sql(self, query: str):
@@ -351,6 +425,8 @@ class Database:
         stmt = parse_sql(query)
         if isinstance(stmt, SelectStmt):
             return self._execute_select(stmt)
+        if isinstance(stmt, ExplainStmt):
+            return self._execute_explain(stmt)
         if isinstance(stmt, AlterTableSummary):
             if stmt.action == "add":
                 self.link_summary_instance(stmt.table, stmt.instance,
@@ -431,17 +507,59 @@ class Database:
             self.statistics.mark_stale(stmt.table)
         return len(updates)
 
-    def explain(self, query: str) -> QueryReport:
-        """Plan (without executing) and report logical + physical plans."""
+    def explain(self, query: str, analyze: bool = False) -> QueryReport:
+        """EXPLAIN a SELECT: plan it and report logical + physical plans.
+
+        ``analyze=True`` (or an ``EXPLAIN ANALYZE …`` query string) also
+        executes the plan under a :class:`PlanProfiler` and annotates every
+        operator with its actual rows, ``next()`` calls, wall time, page
+        accesses, and disk I/O.
+        """
         stmt = parse_sql(query)
-        if not isinstance(stmt, SelectStmt):
+        if isinstance(stmt, ExplainStmt):
+            stmt = ExplainStmt(stmt.query, analyze=stmt.analyze or analyze)
+        elif isinstance(stmt, SelectStmt):
+            stmt = ExplainStmt(stmt, analyze=analyze)
+        else:
             raise QueryError("EXPLAIN supports SELECT statements only")
+        return self._execute_explain(stmt)
+
+    def _execute_explain(self, stmt: ExplainStmt) -> QueryReport:
         physical, logical, cost = self.planner.plan(stmt)
-        return QueryReport(logical.pretty(), physical.explain(), cost)
+        report = QueryReport(logical.pretty(), physical.explain(), cost)
+        if not stmt.analyze:
+            return report
+        result = self._run_physical(stmt.query, physical, cost, profile=True)
+        report.analyzed = result.stats["plan_analyzed"]
+        report.execution = {
+            key: value
+            for key, value in result.stats.items()
+            if key not in ("plan", "plan_analyzed", "estimated_cost")
+        }
+        report.execution["rows"] = len(result)
+        report.result = result
+        return report
 
     def _execute_select(self, stmt: SelectStmt) -> ResultSet:
         physical, logical, cost = self.planner.plan(stmt)
+        return self._run_physical(stmt, physical, cost)
+
+    def _run_physical(
+        self,
+        stmt: SelectStmt,
+        physical,
+        cost: float,
+        profile: bool = False,
+    ) -> ResultSet:
+        """Execute a lowered plan, capturing run totals (and, when
+        ``profile`` is set, the per-operator EXPLAIN ANALYZE counters)."""
+        profiler = None
+        metrics_before: dict[str, float] | None = None
+        if profile:
+            profiler = PlanProfiler(self.pool, self.disk).attach(physical)
+            metrics_before = self.metrics_snapshot()
         io_before = self.disk.stats.snapshot()
+        pages_before = self.pool.hits + self.pool.misses
         started = time.perf_counter()
         tuples = list(physical.rows())
         elapsed = time.perf_counter() - started
@@ -449,17 +567,21 @@ class Database:
         columns = (
             tuples[0].columns if tuples else self._expected_columns(stmt)
         )
-        return ResultSet(
-            columns,
-            tuples,
-            stats={
-                "elapsed_s": elapsed,
-                "io_reads": io.reads,
-                "io_writes": io.writes,
-                "estimated_cost": cost,
-                "plan": physical.explain(),
-            },
-        )
+        stats = {
+            "elapsed_s": elapsed,
+            "io_reads": io.reads,
+            "io_writes": io.writes,
+            "pages": self.pool.hits + self.pool.misses - pages_before,
+            "estimated_cost": cost,
+            "plan": physical.explain(),
+        }
+        if profiler is not None:
+            stats["plan_analyzed"] = profiler.render()
+            stats["operators"] = profiler.summarize()
+            stats["metrics"] = MetricsRegistry.delta(
+                self.metrics_snapshot(), metrics_before or {}
+            )
+        return ResultSet(columns, tuples, stats=stats)
 
     @staticmethod
     def _expected_columns(stmt: SelectStmt) -> list[str]:

@@ -54,6 +54,8 @@ class BaselineClassifierIndex:
         self.table = table
         self.instance_name = instance_name
         self.width = width
+        #: lookup_eq / lookup_range probes served (observability).
+        self.probes = 0
         #: the classifier instance's pre-defined label order (§3.1) — Rep[]
         #: of reconstructed objects must match the stored objects exactly.
         self.label_order = label_order
@@ -133,6 +135,7 @@ class BaselineClassifierIndex:
 
         Two hops: derived-column index -> normalized rows -> data_oid.
         """
+        self.probes += 1
         key = itemize(label, count, self.width)
         return [
             self.norm.read_dict(norm_oid)["data_oid"]
@@ -148,15 +151,20 @@ class BaselineClassifierIndex:
         hi_inclusive: bool = True,
     ) -> Iterator[tuple[int, int]]:
         """Yield ``(count, data_oid)`` in ascending count order."""
+        self.probes += 1  # counted at call time, like SummaryBTreeIndex
         lo_key = itemize(label, 0 if lo is None else lo, self.width)
         hi_key = itemize(
             label, max_count(self.width) if hi is None else hi, self.width
         )
-        for norm_oid in self.norm.index_range(
-            "derived", lo_key, hi_key, lo_inclusive, hi_inclusive
-        ):
-            row = self.norm.read_dict(norm_oid)
-            yield row["cnt"], row["data_oid"]
+
+        def scan() -> Iterator[tuple[int, int]]:
+            for norm_oid in self.norm.index_range(
+                "derived", lo_key, hi_key, lo_inclusive, hi_inclusive
+            ):
+                row = self.norm.read_dict(norm_oid)
+                yield row["cnt"], row["data_oid"]
+
+        return scan()
 
     # -- normalized propagation (Figure 12) -------------------------------------------------------
 

@@ -44,6 +44,8 @@ class TrigramKeywordIndex:
         self.postings = BTree(pool)
         #: encoded OID -> trigram (utf-8), for incremental deletion
         self.reverse = BTree(pool)
+        #: candidates() probes served (observability).
+        self.probes = 0
 
     def __len__(self) -> int:
         return len(self.postings)
@@ -103,6 +105,7 @@ class TrigramKeywordIndex:
         """OIDs that *may* contain every keyword as a substring of their
         snippet text (a superset of the true matches), or ``None`` when
         any keyword is too short to decompose into trigrams."""
+        self.probes += 1
         result: set[int] | None = None
         for keyword in keywords:
             grams = trigrams(keyword)

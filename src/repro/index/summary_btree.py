@@ -91,6 +91,9 @@ class SummaryBTreeIndex:
         self.tree = BTree(table.pool)
         #: Number of automatic key-width rebuilds performed (footnote 1).
         self.rebuilds = 0
+        #: Number of lookup_eq / lookup_range probes served (Figure 11/12
+        #: observability; surfaced via Database.metrics_snapshot()).
+        self.probes = 0
 
     # -- size accounting (Figure 7) ------------------------------------------------
 
@@ -167,6 +170,7 @@ class SummaryBTreeIndex:
 
     def lookup_eq(self, label: str, count: int) -> list[IndexPointer]:
         """Equality probe: ``classLabel = constant``."""
+        self.probes += 1
         key = itemize(label, count, self.width).encode()
         return [_unpack(v) for v in self.tree.search(key)]
 
@@ -184,12 +188,19 @@ class SummaryBTreeIndex:
         on the indexed label (§5.1 Rules 3–6): a sort on the label count can
         be satisfied directly from the index scan.
         """
+        # Count the probe at call time, not at first consumption: callers
+        # that plan but never pull rows still performed the B-Tree descent.
+        self.probes += 1
         lo_key, hi_key = probe_range(label, lo, hi, self.width)
-        for key, value in self.tree.range_scan(
-            lo_key.encode(), hi_key.encode(), lo_inclusive, hi_inclusive
-        ):
-            count = int(key.decode().rsplit(":", 1)[1])
-            yield count, _unpack(value)
+
+        def scan() -> Iterator[tuple[int, IndexPointer]]:
+            for key, value in self.tree.range_scan(
+                lo_key.encode(), hi_key.encode(), lo_inclusive, hi_inclusive
+            ):
+                count = int(key.decode().rsplit(":", 1)[1])
+                yield count, _unpack(value)
+
+        return scan()
 
     # -- automatic key widening (footnote 1) ------------------------------------------------
 

@@ -1,0 +1,20 @@
+"""Engine-wide observability (EXPLAIN ANALYZE + metrics registry).
+
+Two pieces:
+
+* :class:`MetricsRegistry` — named monotonic counters and accumulated
+  timers with a snapshot/delta/reset API.  The :class:`~repro.core.database.Database`
+  owns one registry; the summary-maintenance subsystem and the index
+  structures report their events into it so the paper's access-path
+  arguments (Figures 10–13) can be read off any run.
+* :class:`PlanProfiler` — per-operator execution profiling behind
+  ``EXPLAIN ANALYZE``: every physical operator's iterator is wrapped so
+  each ``next()`` charges rows, wall time, and the buffer-pool / disk
+  counter deltas to that operator.  Reported numbers are *exclusive*
+  (children subtracted), so they sum to the run's totals.
+"""
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.profile import OperatorStats, PlanProfiler
+
+__all__ = ["MetricsRegistry", "OperatorStats", "PlanProfiler"]

@@ -1,0 +1,77 @@
+"""Counter/timer registry.
+
+A :class:`MetricsRegistry` is a flat namespace of named monotonic counters
+(``inc``) and accumulated wall-time buckets (``timer``/``add_time``).  It is
+deliberately tiny: dict lookups only, no locks, no background machinery —
+cheap enough to leave enabled in every run, which is what makes the counted
+numbers comparable across benches (DESIGN.md §5's interpreter-noise
+argument).
+
+Naming convention used by the engine::
+
+    maint.on_summary_insert      SummaryManager observer events (§4.1.2)
+    maint.annotation_add         raw annotation mutations
+    index.summary.<tbl>.<inst>.probes   Summary-BTree probe counts
+    pool.hits / pool.misses      buffer-pool counters (merged at snapshot)
+    disk.reads / disk.writes     DiskManager counters (merged at snapshot)
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+
+
+class MetricsRegistry:
+    """Named monotonic counters + accumulated timers."""
+
+    def __init__(self) -> None:
+        self.counters: dict[str, int] = {}
+        self.timers: dict[str, float] = {}
+
+    # -- counters -------------------------------------------------------------
+
+    def inc(self, name: str, n: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + n
+
+    def get(self, name: str, default: int = 0) -> int:
+        return self.counters.get(name, default)
+
+    # -- timers ---------------------------------------------------------------
+
+    def add_time(self, name: str, seconds: float) -> None:
+        self.timers[name] = self.timers.get(name, 0.0) + seconds
+
+    @contextmanager
+    def timer(self, name: str):
+        """Accumulate the elapsed wall time of the ``with`` body."""
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.add_time(name, time.perf_counter() - started)
+
+    # -- snapshot / delta / reset --------------------------------------------
+
+    def snapshot(self) -> dict[str, float]:
+        """One flat dict of every counter and timer (timers keyed
+        ``<name>.seconds``)."""
+        out: dict[str, float] = dict(self.counters)
+        for name, seconds in self.timers.items():
+            out[f"{name}.seconds"] = seconds
+        return out
+
+    @staticmethod
+    def delta(after: dict[str, float], before: dict[str, float]) -> dict[str, float]:
+        """Per-key difference of two snapshots (keys absent from ``before``
+        count from zero; unchanged keys are dropped)."""
+        out = {}
+        for key, value in after.items():
+            diff = value - before.get(key, 0)
+            if diff:
+                out[key] = diff
+        return out
+
+    def reset(self) -> None:
+        self.counters.clear()
+        self.timers.clear()

@@ -23,7 +23,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.errors import PlanError
-from repro.query.ast import Expr, FuncCall, Literal, SelectStmt, SummaryExpr
+from repro.query.ast import (
+    ExplainStmt,
+    Expr,
+    FuncCall,
+    Literal,
+    SelectStmt,
+    SummaryExpr,
+)
 from repro.query.binder import Binder, BindInfo
 from repro.query.eval import EvalContext
 from repro.query.logical import (
@@ -177,8 +184,16 @@ class Planner:
 
     # -- public API -------------------------------------------------------------
 
-    def plan(self, stmt: SelectStmt) -> tuple[PhysicalOperator, LogicalPlan, float]:
-        """(physical plan, chosen logical plan, estimated cost)."""
+    def plan(
+        self, stmt: SelectStmt | ExplainStmt
+    ) -> tuple[PhysicalOperator, LogicalPlan, float]:
+        """(physical plan, chosen logical plan, estimated cost).
+
+        ``ExplainStmt`` plans its inner query — whether the plan is then
+        executed (ANALYZE) or only rendered is the executor's call.
+        """
+        if isinstance(stmt, ExplainStmt):
+            stmt = stmt.query
         logical, info = self.binder.bind(stmt)
         candidates = [logical]
         if self.options.enable_rules:

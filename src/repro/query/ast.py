@@ -232,6 +232,20 @@ class SelectStmt:
 
 
 @dataclass(frozen=True)
+class ExplainStmt:
+    """``EXPLAIN [ANALYZE] <select>``.
+
+    Plain EXPLAIN plans without executing; ANALYZE additionally runs the
+    query under a :class:`~repro.obs.profile.PlanProfiler` and reports the
+    per-operator counters (rows, next() calls, wall time, page accesses,
+    disk I/O) alongside the estimated plan.
+    """
+
+    query: SelectStmt
+    analyze: bool = False
+
+
+@dataclass(frozen=True)
 class AlterTableSummary:
     """``ALTER TABLE t ADD [INDEXABLE] inst`` / ``ALTER TABLE t DROP inst``
     — the extended DDL of §4."""

@@ -21,6 +21,7 @@ from repro.query.ast import (
     UdfCall,
     AggCall,
     ColumnRef,
+    ExplainStmt,
     Expr,
     SelectItem,
     SelectStmt,
@@ -94,7 +95,11 @@ class Binder:
         self.catalog = catalog
         self.manager = manager
 
-    def bind(self, stmt: SelectStmt) -> tuple[LogicalPlan, BindInfo]:
+    def bind(self, stmt: SelectStmt | ExplainStmt) -> tuple[LogicalPlan, BindInfo]:
+        if isinstance(stmt, ExplainStmt):
+            # EXPLAIN is transparent to binding: the inner SELECT is what
+            # gets validated and planned.
+            stmt = stmt.query
         info = self._bind_tables(stmt)
         stmt = self._resolve_order_aliases(stmt)
         self._validate_expressions(stmt, info)

@@ -26,7 +26,7 @@ KEYWORDS = {
     "add", "drop", "indexable", "zoom", "in", "create", "insert", "into",
     "values", "int", "float", "text", "bool", "count", "sum", "avg", "min",
     "max", "true", "false", "null", "distinct", "filter", "summaries",
-    "having", "delete", "update", "set",
+    "having", "delete", "update", "set", "explain", "analyze",
 }
 
 

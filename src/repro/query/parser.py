@@ -2,7 +2,8 @@
 
 Grammar sketch::
 
-    statement   := select | alter | zoom | create | insert
+    statement   := select | explain | alter | zoom | create | insert
+    explain     := EXPLAIN [ANALYZE] select
     select      := SELECT [DISTINCT] items FROM tables [WHERE expr]
                    [GROUP BY exprs] [ORDER BY expr [ASC|DESC], ...]
                    [LIMIT n]
@@ -30,6 +31,7 @@ from repro.query.ast import (
     ColumnRef,
     Comparison,
     CreateTableStmt,
+    ExplainStmt,
     Expr,
     FuncCall,
     InsertStmt,
@@ -95,6 +97,7 @@ class Parser:
             "insert": self.parse_insert,
             "delete": self.parse_delete,
             "update": self.parse_update,
+            "explain": self.parse_explain,
         }.get(token.value)
         if stmt is None:
             raise ParseError(f"unsupported statement {token.value!r}")
@@ -102,6 +105,18 @@ class Parser:
         self.accept("punct", ";")
         self.expect("eof")
         return result
+
+    # -- EXPLAIN [ANALYZE] -------------------------------------------------------------
+
+    def parse_explain(self) -> ExplainStmt:
+        self.expect("keyword", "explain")
+        analyze = self.accept("keyword", "analyze") is not None
+        if not self.at_keyword("select"):
+            got = self.peek()
+            raise ParseError(
+                f"EXPLAIN supports SELECT statements only, got {got.value!r}"
+            )
+        return ExplainStmt(self.parse_select(), analyze=analyze)
 
     # -- SELECT -----------------------------------------------------------------------
 

@@ -51,10 +51,24 @@ class ExecContext:
 
 
 class PhysicalOperator:
-    """Base class: every operator is an iterator of QTuples."""
+    """Base class: every operator is an iterator of QTuples.
+
+    Subclasses implement :meth:`_produce`; consumers call :meth:`rows`,
+    which transparently instruments the iterator when an
+    :class:`~repro.obs.profile.PlanProfiler` is attached (EXPLAIN ANALYZE).
+    The indirection keeps the operators themselves free of counting logic.
+    """
+
+    #: Set per-instance by PlanProfiler.attach(); None = unprofiled run.
+    profiler = None
+
+    def _produce(self) -> Iterator[QTuple]:
+        raise NotImplementedError
 
     def rows(self) -> Iterator[QTuple]:
-        raise NotImplementedError
+        if self.profiler is None:
+            return self._produce()
+        return self.profiler.wrap(self, self._produce())
 
     def __iter__(self) -> Iterator[QTuple]:
         return self.rows()

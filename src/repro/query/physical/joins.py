@@ -52,7 +52,7 @@ class NestedLoopJoin(PhysicalOperator):
     def children(self):
         return [self.left, self.right]
 
-    def rows(self) -> Iterator[QTuple]:
+    def _produce(self) -> Iterator[QTuple]:
         inner = list(self.right.rows())
         for left_row in self.left.rows():
             for right_row in inner:
@@ -105,7 +105,7 @@ class IndexNestedLoopJoin(PhysicalOperator):
     def children(self):
         return [self.left]
 
-    def rows(self) -> Iterator[QTuple]:
+    def _produce(self) -> Iterator[QTuple]:
         from repro.query.physical.scans import _make_tuple
 
         table = self.ctx.catalog.table(self.right_table)
@@ -193,7 +193,7 @@ class SummaryIndexNestedLoopJoin(PhysicalOperator):
             return None, key, True, False
         return None, key, True, True  # ">="
 
-    def rows(self) -> Iterator[QTuple]:
+    def _produce(self) -> Iterator[QTuple]:
         from repro.query.physical.scans import _make_tuple
 
         index = self.ctx.summary_index(self.inner_table, self.instance)

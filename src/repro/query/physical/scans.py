@@ -71,7 +71,7 @@ class SeqScan(PhysicalOperator):
         self.with_summaries = with_summaries
         self.retained = retained
 
-    def rows(self) -> Iterator[QTuple]:
+    def _produce(self) -> Iterator[QTuple]:
         for oid, values in self.ctx.catalog.table(self.table).scan():
             yield _make_tuple(
                 self.ctx, self.table, self.alias, oid, values,
@@ -108,7 +108,7 @@ class IndexScan(PhysicalOperator):
         self.with_summaries = with_summaries
         self.retained = retained
 
-    def rows(self) -> Iterator[QTuple]:
+    def _produce(self) -> Iterator[QTuple]:
         table = self.ctx.catalog.table(self.table)
         for oid in table.index_range(
             self.column, self.lo, self.hi, self.lo_inclusive, self.hi_inclusive
@@ -158,7 +158,7 @@ class SummaryIndexScan(PhysicalOperator):
         self.retained = retained
         self.direction = direction
 
-    def rows(self) -> Iterator[QTuple]:
+    def _produce(self) -> Iterator[QTuple]:
         index = self.ctx.summary_index(self.table, self.instance)
         if index is None:
             raise PlanError(
@@ -241,7 +241,7 @@ class BaselineIndexScan(PhysicalOperator):
         self.direction = direction
         self.normalized_propagation = normalized_propagation
 
-    def rows(self) -> Iterator[QTuple]:
+    def _produce(self) -> Iterator[QTuple]:
         index = self.ctx.baseline_index(self.table, self.instance)
         if index is None:
             raise PlanError(f"no baseline index on {self.table}/{self.instance}")
@@ -330,7 +330,7 @@ class KeywordIndexScan(PhysicalOperator):
         self.with_summaries = with_summaries
         self.retained = retained
 
-    def rows(self) -> Iterator[QTuple]:
+    def _produce(self) -> Iterator[QTuple]:
         index = self.ctx.keyword_index(self.table, self.instance)
         if index is None:
             raise PlanError(

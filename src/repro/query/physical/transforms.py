@@ -27,7 +27,7 @@ class FilterOp(PhysicalOperator):
     def children(self):
         return [self.child]
 
-    def rows(self) -> Iterator[QTuple]:
+    def _produce(self) -> Iterator[QTuple]:
         for row in self.child.rows():
             if evaluate(self.predicate, row, self.ctx.eval_ctx):
                 yield row
@@ -57,7 +57,7 @@ class SummaryFilterOp(PhysicalOperator):
     def children(self):
         return [self.child]
 
-    def rows(self) -> Iterator[QTuple]:
+    def _produce(self) -> Iterator[QTuple]:
         for row in self.child.rows():
             filtered_by_id: dict[int, object] = {}
             new_sets = {}
@@ -91,7 +91,7 @@ class ProjectOp(PhysicalOperator):
     def children(self):
         return [self.child]
 
-    def rows(self) -> Iterator[QTuple]:
+    def _produce(self) -> Iterator[QTuple]:
         for row in self.child.rows():
             columns: list[str] = []
             values: list[object] = []
@@ -157,7 +157,7 @@ class SortOp(PhysicalOperator):
                   for expr, _ in self.keys]
         return _SortKey(values, [d for _, d in self.keys])
 
-    def rows(self) -> Iterator[QTuple]:
+    def _produce(self) -> Iterator[QTuple]:
         if self.method == "mem":
             yield from sorted(self.child.rows(), key=self._key)
             return
@@ -261,7 +261,7 @@ class GroupOp(PhysicalOperator):
     def children(self):
         return [self.child]
 
-    def rows(self) -> Iterator[QTuple]:
+    def _produce(self) -> Iterator[QTuple]:
         groups: dict[tuple, list[QTuple]] = {}
         order: list[tuple] = []
         for row in self.child.rows():
@@ -350,7 +350,7 @@ class DistinctOp(PhysicalOperator):
     def children(self):
         return [self.child]
 
-    def rows(self) -> Iterator[QTuple]:
+    def _produce(self) -> Iterator[QTuple]:
         seen: dict[tuple, QTuple] = {}
         order: list[tuple] = []
         for row in self.child.rows():
@@ -379,7 +379,7 @@ class LimitOp(PhysicalOperator):
     def children(self):
         return [self.child]
 
-    def rows(self) -> Iterator[QTuple]:
+    def _produce(self) -> Iterator[QTuple]:
         for i, row in enumerate(self.child.rows()):
             if i >= self.limit:
                 return

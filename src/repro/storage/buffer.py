@@ -72,6 +72,9 @@ class BufferPool:
         """Replace the cached contents of ``page_id`` and mark it dirty."""
         frame = self._frames.get(page_id)
         if frame is None:
+            # The page was not resident: account it like any other fault so
+            # hit_rate and page-access totals stay consistent with get_page.
+            self.misses += 1
             self._make_room()
             self._frames[page_id] = _Frame(data, dirty=True)
         else:
@@ -80,7 +83,17 @@ class BufferPool:
             self._frames.move_to_end(page_id)
 
     def free_page(self, page_id: int) -> None:
-        """Drop ``page_id`` from the pool and deallocate it on disk."""
+        """Drop ``page_id`` from the pool and deallocate it on disk.
+
+        Freeing a pinned page would yank the frame out from under whoever
+        pinned it (their bytearray would silently stop being the page), so
+        that is an error, not a no-op.
+        """
+        frame = self._frames.get(page_id)
+        if frame is not None and frame.pins > 0:
+            raise BufferPoolError(
+                f"page {page_id} is pinned ({frame.pins}x); cannot free"
+            )
         self._frames.pop(page_id, None)
         self.disk.deallocate_page(page_id)
 

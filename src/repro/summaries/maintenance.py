@@ -26,6 +26,7 @@ from repro.annotations.annotation import Annotation, AnnotationTarget
 from repro.annotations.store import AnnotationStore
 from repro.errors import SummaryError, UnknownInstanceError
 from repro.mining.clustream import CluStream
+from repro.obs.metrics import MetricsRegistry
 from repro.storage.buffer import BufferPool
 from repro.summaries.functions import SummarySet
 from repro.summaries.instances import (
@@ -62,7 +63,10 @@ class SummaryObserver(Protocol):
 class SummaryManager:
     """The summary subsystem's single entry point."""
 
-    def __init__(self, pool: BufferPool):
+    def __init__(self, pool: BufferPool, metrics: MetricsRegistry | None = None):
+        #: maintenance-event counters (``maint.*``); shared with the owning
+        #: Database's registry so EXPLAIN ANALYZE can report deltas.
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._cell_annotated: set[str] = set()
         #: black-box summary-set UDFs (§3.2): name -> callable(SummarySet)
         self.udfs: dict[str, object] = {}
@@ -187,6 +191,7 @@ class SummaryManager:
         self._observers[(table.lower(), instance_name)].remove(observer)
 
     def _notify(self, table: str, instance_name: str, method: str, *args) -> None:
+        self.metrics.inc(f"maint.{method}")
         for observer in self._observers.get((table.lower(), instance_name), []):
             getattr(observer, method)(*args)
 
@@ -217,6 +222,7 @@ class SummaryManager:
         """Store a raw annotation and incrementally update every summary
         object it affects."""
         self._record_targets(targets)
+        self.metrics.inc("maint.annotation_add")
         annotation = self.annotations.create(text, targets)
         for table, oid in self._affected_tuples(annotation):
             self._apply_to_tuple(annotation, table, oid)
@@ -232,6 +238,7 @@ class SummaryManager:
         """
         for _text, targets in items:
             self._record_targets(targets)
+        self.metrics.inc("maint.annotation_add", len(items))
         annotations = [self.annotations.create(t, targets) for t, targets in items]
         grouped: dict[tuple[str, int], list[Annotation]] = {}
         for annotation in annotations:
@@ -304,6 +311,7 @@ class SummaryManager:
 
     def delete_annotation(self, ann_id: int) -> None:
         """Remove a raw annotation and subtract its effects (§4.1.2)."""
+        self.metrics.inc("maint.annotation_delete")
         annotation = self.annotations.delete(ann_id)
         for table, oid in self._affected_tuples(annotation):
             self._remove_from_tuple(annotation, table, oid)

@@ -7,12 +7,14 @@ from repro.bench import (
     FULL_SWEEP,
     PAPER_LABELS,
     PRESETS,
+    CachedDatabaseMutated,
     FigureTable,
     Measurement,
     active_preset,
     cached_database,
     clear_cache,
     measure,
+    measure_sql,
 )
 from repro.bench.queries import (
     equality_constant,
@@ -126,6 +128,14 @@ class TestMeasure:
                      repeat=3)
         assert m1.rows == 20
 
+    def test_measure_sql_carries_operator_breakdown(self, small_db):
+        m = measure_sql(small_db, "Select * From birds", repeat=2)
+        assert m.rows == 20
+        assert m.operators, "EXPLAIN ANALYZE breakdown missing"
+        assert m.operators[0]["rows"] == 20
+        assert sum(op["self_pages"] for op in m.operators) == m.pages
+        assert isinstance(m.metrics, dict)
+
 
 class TestQueryHelpers:
     def test_label_distribution_totals(self, small_db):
@@ -170,4 +180,17 @@ class TestCache:
         clear_cache()
         c = cached_database(**kwargs)
         assert c is not a
+        clear_cache()
+
+    def test_mutated_cached_database_fails_loudly(self):
+        clear_cache()
+        kwargs = dict(num_birds=4, annotations_per_tuple=3, indexes="none")
+        db = cached_database(**kwargs)
+        cached_database(**kwargs)  # clean lease passes the check
+        db.insert("birds", {"scientific_name": "intruder"})
+        with pytest.raises(CachedDatabaseMutated):
+            cached_database(**kwargs)
+        clear_cache()
+        # a rebuild recovers
+        assert cached_database(**kwargs) is not db
         clear_cache()

@@ -87,3 +87,73 @@ class TestTinyPool:
             f"Select name From t r Where name = 'late' And r.{DISEASE} = 1"
         )
         assert len(result) == 1
+
+
+class TestPinEvictFreeClear:
+    """pin/evict/free/clear interactions under capacity pressure."""
+
+    def _pool(self, capacity=3):
+        from repro.storage.buffer import BufferPool
+        from repro.storage.disk import DiskManager
+
+        disk = DiskManager()
+        return disk, BufferPool(disk, capacity=capacity)
+
+    def test_pinned_frames_survive_capacity_pressure(self):
+        disk, pool = self._pool(capacity=3)
+        pinned = pool.new_page()
+        page = pool.get_page(pinned)
+        page[0] = 42
+        pool.mark_dirty(pinned)
+        pool.pin(pinned)
+        for _ in range(10):  # churn well past capacity
+            pool.new_page()
+        # the pinned frame was never evicted: the live bytearray is intact
+        assert pool.get_page(pinned)[0] == 42
+        assert pool._frames[pinned].pins == 1
+        pool.unpin(pinned)
+
+    def test_free_pinned_page_refused_under_pressure(self):
+        import pytest as _pytest
+
+        from repro.errors import BufferPoolError
+
+        disk, pool = self._pool(capacity=2)
+        pinned = pool.new_page()
+        pool.pin(pinned)
+        pool.new_page()  # fill remaining frame
+        with _pytest.raises(BufferPoolError):
+            pool.free_page(pinned)
+        pool.unpin(pinned)
+        pool.free_page(pinned)
+        assert pinned not in pool._frames
+
+    def test_clear_flushes_dirty_frames_before_dropping(self):
+        disk, pool = self._pool(capacity=4)
+        pids = [pool.new_page() for _ in range(3)]
+        for i, pid in enumerate(pids):
+            pool.get_page(pid)[0] = i + 1
+            pool.mark_dirty(pid)
+        pool.clear()
+        assert not pool._frames
+        for i, pid in enumerate(pids):
+            assert disk.read_page(pid)[0] == i + 1
+
+    def test_eviction_skips_pinned_victims_in_lru_order(self):
+        disk, pool = self._pool(capacity=3)
+        a, b, c = (pool.new_page() for _ in range(3))
+        pool.flush_all()
+        pool.pin(a)  # LRU-oldest but pinned: must be skipped
+        pool.new_page()  # evicts b (oldest unpinned)
+        assert a in pool._frames
+        assert b not in pool._frames
+        assert c in pool._frames
+        pool.unpin(a)
+
+    def test_freed_page_gone_after_clear_recycles_cleanly(self):
+        disk, pool = self._pool(capacity=2)
+        pid = pool.new_page()
+        pool.clear()
+        pool.free_page(pid)  # free a non-resident page: disk-only effect
+        recycled = disk.allocate_page()
+        assert recycled == pid

@@ -132,6 +132,40 @@ def test_free_page_removes_from_pool_and_disk():
         disk.read_page(pid)
 
 
+def test_free_page_pinned_raises():
+    # Regression: free_page used to silently drop pinned frames, yanking
+    # the live bytearray out from under the pinner.
+    disk = DiskManager()
+    pool = BufferPool(disk, capacity=2)
+    pid = pool.new_page()
+    pool.pin(pid)
+    with pytest.raises(BufferPoolError):
+        pool.free_page(pid)
+    # the page survived: still resident, still readable
+    pool.get_page(pid)
+    pool.unpin(pid)
+    pool.free_page(pid)  # now legal
+    with pytest.raises(StorageError):
+        disk.read_page(pid)
+
+
+def test_put_page_absent_counts_miss():
+    # Regression: put_page on a non-resident page used to bypass the
+    # hit/miss counters, skewing hit_rate and page-access totals.
+    disk = DiskManager()
+    pool = BufferPool(disk, capacity=2)
+    pid = pool.new_page()
+    pool.clear()
+    misses_before, hits_before = pool.misses, pool.hits
+    pool.put_page(pid, bytearray(disk.page_size))
+    assert pool.misses == misses_before + 1
+    assert pool.hits == hits_before
+    # the resident path still counts nothing (it is not a fault)
+    pool.put_page(pid, bytearray(disk.page_size))
+    assert pool.misses == misses_before + 1
+    assert pool.hits == hits_before
+
+
 def test_hit_rate():
     disk = DiskManager()
     pool = BufferPool(disk, capacity=4)
