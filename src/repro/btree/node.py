@@ -21,11 +21,21 @@ from __future__ import annotations
 import struct
 from dataclasses import dataclass, field
 
-from repro.errors import StorageError
+from repro.errors import CorruptPageError, StorageError
 
 _U16 = struct.Struct("<H")
 _U32 = struct.Struct("<I")
 _I32 = struct.Struct("<i")
+
+
+def _read_chunk(data: bytes | bytearray, pos: int, length: int) -> bytes:
+    """Slice ``length`` bytes, refusing silent truncation past the page end."""
+    if pos + length > len(data):
+        raise CorruptPageError(
+            f"node field of {length} bytes at offset {pos} runs past the "
+            f"{len(data)}-byte page"
+        )
+    return bytes(data[pos:pos + length])
 
 LEAF_TAG = 1
 INTERNAL_TAG = 0
@@ -74,20 +84,23 @@ class LeafNode:
 
     @classmethod
     def from_bytes(cls, data: bytes | bytearray) -> "LeafNode":
-        (num,) = _U16.unpack_from(data, 1)
-        (next_leaf,) = _I32.unpack_from(data, 3)
-        entries: list[Entry] = []
-        pos = 7
-        for _ in range(num):
-            (klen,) = _U16.unpack_from(data, pos)
-            pos += 2
-            key = bytes(data[pos:pos + klen])
-            pos += klen
-            (vlen,) = _U16.unpack_from(data, pos)
-            pos += 2
-            value = bytes(data[pos:pos + vlen])
-            pos += vlen
-            entries.append((key, value))
+        try:
+            (num,) = _U16.unpack_from(data, 1)
+            (next_leaf,) = _I32.unpack_from(data, 3)
+            entries: list[Entry] = []
+            pos = 7
+            for _ in range(num):
+                (klen,) = _U16.unpack_from(data, pos)
+                pos += 2
+                key = _read_chunk(data, pos, klen)
+                pos += klen
+                (vlen,) = _U16.unpack_from(data, pos)
+                pos += 2
+                value = _read_chunk(data, pos, vlen)
+                pos += vlen
+                entries.append((key, value))
+        except struct.error as exc:
+            raise CorruptPageError(f"corrupt leaf node: {exc}") from exc
         return cls(entries, next_leaf)
 
 
@@ -125,29 +138,41 @@ class InternalNode:
 
     @classmethod
     def from_bytes(cls, data: bytes | bytearray) -> "InternalNode":
-        (num,) = _U16.unpack_from(data, 1)
-        (child0,) = _U32.unpack_from(data, 3)
-        separators: list[Entry] = []
-        children = [child0]
-        pos = 7
-        for _ in range(num):
-            (klen,) = _U16.unpack_from(data, pos)
-            pos += 2
-            key = bytes(data[pos:pos + klen])
-            pos += klen
-            (vlen,) = _U16.unpack_from(data, pos)
-            pos += 2
-            value = bytes(data[pos:pos + vlen])
-            pos += vlen
-            (child,) = _U32.unpack_from(data, pos)
-            pos += 4
-            separators.append((key, value))
-            children.append(child)
+        try:
+            (num,) = _U16.unpack_from(data, 1)
+            (child0,) = _U32.unpack_from(data, 3)
+            separators: list[Entry] = []
+            children = [child0]
+            pos = 7
+            for _ in range(num):
+                (klen,) = _U16.unpack_from(data, pos)
+                pos += 2
+                key = _read_chunk(data, pos, klen)
+                pos += klen
+                (vlen,) = _U16.unpack_from(data, pos)
+                pos += 2
+                value = _read_chunk(data, pos, vlen)
+                pos += vlen
+                (child,) = _U32.unpack_from(data, pos)
+                pos += 4
+                separators.append((key, value))
+                children.append(child)
+        except struct.error as exc:
+            raise CorruptPageError(f"corrupt internal node: {exc}") from exc
         return cls(separators, children)
 
 
 def parse_node(data: bytes | bytearray) -> LeafNode | InternalNode:
-    """Parse a node page into the right node class."""
+    """Parse a node page into the right node class.
+
+    Raises :class:`~repro.errors.CorruptPageError` on an unknown node tag or
+    on fields that run past the page boundary, so corrupted node pages
+    surface as typed errors instead of decoding garbage.
+    """
+    if len(data) == 0:
+        raise CorruptPageError("empty node page")
     if data[0] == LEAF_TAG:
         return LeafNode.from_bytes(data)
-    return InternalNode.from_bytes(data)
+    if data[0] == INTERNAL_TAG:
+        return InternalNode.from_bytes(data)
+    raise CorruptPageError(f"unknown node tag {data[0]}")

@@ -14,7 +14,7 @@ from __future__ import annotations
 import bisect
 from typing import Iterator
 
-from repro.errors import DuplicateKeyError, IndexError_
+from repro.errors import DuplicateKeyError, IndexError_, StorageError
 from repro.storage.buffer import BufferPool
 from repro.btree.node import Entry, InternalNode, LeafNode, parse_node
 
@@ -189,6 +189,122 @@ class BTree:
 
     def reset_touches(self) -> None:
         self.touches = 0
+
+    # -- integrity ------------------------------------------------------------
+
+    def structure_errors(self, location: str = "btree") -> list[str]:
+        """Verify the tree's structural invariants; returns violations.
+
+        Checked: node pages parse, no page is reachable twice, entries and
+        separators are strictly sorted and within their separator bounds,
+        serialized nodes fit their page, every leaf sits at the same depth,
+        the sibling chain visits exactly the leaves in left-to-right order,
+        and the entry count matches ``len(self)``.
+
+        Pages are re-parsed from the buffer pool (bypassing the node memo
+        cache) so corruption in the backing bytes is not masked by a stale
+        parsed form.
+        """
+        errors: list[str] = []
+        seen: set[int] = set()
+        leaves_in_order: list[int] = []
+        leaf_depths: set[int] = set()
+        sibling_pointers: dict[int, int] = {}
+        entry_total = 0
+        prev_entry: Entry | None = None
+
+        def visit(page_id: int, depth: int,
+                  lo: Entry | None, hi: Entry | None) -> None:
+            nonlocal entry_total, prev_entry
+            if page_id in seen:
+                errors.append(f"{location}: page {page_id} reachable twice")
+                return
+            seen.add(page_id)
+            try:
+                node = parse_node(self.pool.get_page(page_id))
+            except StorageError as exc:
+                errors.append(f"{location}: node page {page_id}: {exc}")
+                return
+            if node.serialized_size() > self.page_size:
+                errors.append(
+                    f"{location}: node page {page_id} serializes to "
+                    f"{node.serialized_size()} bytes (> {self.page_size})"
+                )
+            if isinstance(node, LeafNode):
+                leaf_depths.add(depth)
+                leaves_in_order.append(page_id)
+                sibling_pointers[page_id] = node.next_leaf
+                entry_total += len(node.entries)
+                for entry in node.entries:
+                    if prev_entry is not None and entry <= prev_entry:
+                        errors.append(
+                            f"{location}: leaf {page_id} entry {entry!r} out "
+                            f"of order (follows {prev_entry!r})"
+                        )
+                    if lo is not None and entry < lo:
+                        errors.append(
+                            f"{location}: leaf {page_id} entry {entry!r} "
+                            f"below its separator bound {lo!r}"
+                        )
+                    if hi is not None and entry >= hi:
+                        errors.append(
+                            f"{location}: leaf {page_id} entry {entry!r} at "
+                            f"or above its separator bound {hi!r}"
+                        )
+                    prev_entry = entry
+                return
+            if len(node.children) != len(node.separators) + 1:
+                errors.append(
+                    f"{location}: internal {page_id} has "
+                    f"{len(node.children)} children for "
+                    f"{len(node.separators)} separators"
+                )
+                return
+            for i, sep in enumerate(node.separators):
+                if i > 0 and sep <= node.separators[i - 1]:
+                    errors.append(
+                        f"{location}: internal {page_id} separators out of "
+                        f"order at index {i}"
+                    )
+                if lo is not None and sep < lo:
+                    errors.append(
+                        f"{location}: internal {page_id} separator {sep!r} "
+                        f"below bound {lo!r}"
+                    )
+                if hi is not None and sep >= hi:
+                    errors.append(
+                        f"{location}: internal {page_id} separator {sep!r} "
+                        f"at or above bound {hi!r}"
+                    )
+            bounds = [lo] + list(node.separators) + [hi]
+            for i, child in enumerate(node.children):
+                visit(child, depth + 1, bounds[i], bounds[i + 1])
+
+        visit(self.root_id, 1, None, None)
+
+        if len(leaf_depths) > 1:
+            errors.append(
+                f"{location}: non-uniform leaf depth {sorted(leaf_depths)}"
+            )
+        if leaves_in_order:
+            # Walk the sibling chain from the leftmost leaf; it must visit
+            # exactly the tree-ordered leaves, then terminate.
+            chain: list[int] = []
+            current = leaves_in_order[0]
+            while current != -1 and len(chain) <= len(leaves_in_order):
+                chain.append(current)
+                current = sibling_pointers.get(current, -1)
+            if chain != leaves_in_order:
+                errors.append(
+                    f"{location}: sibling chain {chain} does not match "
+                    f"leaf order {leaves_in_order}"
+                )
+        if entry_total != self._len:
+            errors.append(
+                f"{location}: {entry_total} entries in leaves but tree "
+                f"reports len {self._len}"
+            )
+        return errors
 
     def drop(self) -> None:
         """Free every node page."""

@@ -15,6 +15,7 @@ aimed at exploring the engine:
 
 from __future__ import annotations
 
+import os
 import sys
 
 from repro.core.database import Database, QueryReport
@@ -35,6 +36,8 @@ Commands:
   \\instances               list summary instances and their links
   \\stats <table>           show optimizer statistics for a table
   \\set <option> <value>    set a PlannerOptions field
+  \\check                   run the full integrity audit (checksums, heap
+                           accounting, B-Tree invariants, cross-structure)
   \\help                    this text
   \\quit                    exit\
 """
@@ -131,6 +134,8 @@ def _execute_command(db: Database, command: str) -> str:
                     f"ndistinct={ls.ndistinct}"
                 )
         return "\n".join(lines)
+    if name == "check":
+        return str(db.check_integrity())
     if name == "set":
         if len(args) != 2:
             return "usage: \\set <option> <value>"
@@ -143,8 +148,38 @@ def _execute_command(db: Database, command: str) -> str:
     return f"unknown command \\{parts[0]} (try \\help)"
 
 
+def check_image(path: str) -> int:
+    """``python -m repro check <image>``: load an image and audit it.
+
+    Exit status: 0 when the audit is clean, 1 on integrity violations,
+    2 when the image itself cannot be loaded (truncated, corrupted,
+    wrong version).
+    """
+    from repro.errors import CorruptImageError
+
+    try:
+        db = Database.load(path)
+    except (CorruptImageError, OSError) as exc:
+        print(f"error: {exc}")
+        return 2
+    report = db.check_integrity()
+    try:
+        print(report)
+    except BrokenPipeError:
+        # Downstream pager/head closed early; swallow the flush-at-exit
+        # error too. The exit status still stands.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+    return 0 if report.ok else 1
+
+
 def main(argv: list[str] | None = None) -> int:
-    """REPL entry point."""
+    """Entry point: ``repro check <image>`` or the interactive REPL."""
+    argv = sys.argv[1:] if argv is None else argv
+    if argv and argv[0] == "check":
+        if len(argv) != 2:
+            print("usage: python -m repro check <image>")
+            return 2
+        return check_image(argv[1])
     print("InsightNotes+ shell — \\help for commands, \\demo to load data")
     db = Database()
     while True:

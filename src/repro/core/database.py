@@ -14,15 +14,25 @@ the summary-aware planner — and exposes the end-user surface:
 
 from __future__ import annotations
 
+import os
 import pickle
+import struct
 import time
+import zlib
 from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.annotations.annotation import AnnotationTarget
 from repro.catalog.catalog import Catalog
 from repro.catalog.schema import Column, Schema
-from repro.errors import CatalogError, QueryError, SummaryError
+from repro.core.integrity import IntegrityChecker, IntegrityReport
+from repro.errors import (
+    CatalogError,
+    CorruptImageError,
+    IntegrityError,
+    QueryError,
+    SummaryError,
+)
 from repro.index.baseline import BaselineClassifierIndex
 from repro.index.keyword import TrigramKeywordIndex
 from repro.index.replica import NormalizedSnippetReplica
@@ -103,8 +113,9 @@ class Database:
         self,
         buffer_pages: int = 4096,
         options: PlannerOptions | None = None,
+        disk: DiskManager | None = None,
     ):
-        self.disk = DiskManager()
+        self.disk = disk if disk is not None else DiskManager()
         self.pool = BufferPool(self.disk, capacity=buffer_pages)
         self.catalog = Catalog(self.pool)
         self.metrics = MetricsRegistry()
@@ -310,14 +321,38 @@ class Database:
         """Zoom-in: raw annotation texts behind a summary object."""
         return self.manager.zoom_in(table, oid, instance, selector)
 
+    # -- integrity -----------------------------------------------------------------------------
+
+    def check_integrity(self, raise_on_error: bool = False) -> IntegrityReport:
+        """Audit every structure in the database (see ``repro.core.integrity``):
+        on-disk page checksums, heap slot accounting, B-Tree invariants, and
+        cross-structure consistency (OID indexes, secondary indexes,
+        summary storage, Summary-BTree backward pointers, baseline replicas,
+        annotation references).
+
+        With ``raise_on_error`` a non-empty report raises
+        :class:`~repro.errors.IntegrityError` instead of being returned.
+        """
+        report = IntegrityChecker(self).run()
+        if raise_on_error and not report.ok:
+            raise IntegrityError(str(report))
+        return report
+
     # -- persistence ---------------------------------------------------------------------------
 
     _IMAGE_MAGIC = b"INSIGHTNOTES-IMAGE"
-    _IMAGE_VERSION = 1
+    _IMAGE_VERSION = 2
+    #: v2 header after the magic: version:u16 | payload_len:u64 | crc32:u32.
+    _IMAGE_HEADER = struct.Struct(">HQI")
 
     def save(self, path: str | Path) -> None:
         """Write the whole database — pages, catalog, summary instances,
         indexes, statistics — as a single-file image.
+
+        The image carries the payload length and a CRC32 so a truncated or
+        corrupted file is detected at :meth:`load` time, and it is written
+        to a temporary sibling then atomically renamed into place: a crash
+        mid-save leaves the previous image intact, never a torn one.
 
         Registered UDFs are *not* persisted (arbitrary callables don't
         serialize portably); re-register them after :meth:`load`.
@@ -329,28 +364,58 @@ class Database:
             payload = pickle.dumps(self)
         finally:
             self.manager.udfs = udfs
-        header = (
-            self._IMAGE_MAGIC
-            + self._IMAGE_VERSION.to_bytes(2, "big")
+        header = self._IMAGE_MAGIC + self._IMAGE_HEADER.pack(
+            self._IMAGE_VERSION, len(payload), zlib.crc32(payload) & 0xFFFFFFFF
         )
-        Path(path).write_bytes(header + payload)
+        path = Path(path)
+        tmp = path.with_name(path.name + ".tmp")
+        tmp.write_bytes(header + payload)
+        os.replace(tmp, path)
 
     @classmethod
-    def load(cls, path: str | Path) -> "Database":
-        """Restore a database image written by :meth:`save`."""
+    def load(cls, path: str | Path, verify: bool = False) -> "Database":
+        """Restore a database image written by :meth:`save`.
+
+        Any damage — wrong magic, unsupported version, truncation, payload
+        CRC mismatch, undecodable payload — raises a typed
+        :class:`~repro.errors.CorruptImageError`; a load never returns
+        silently-wrong data. ``verify=True`` additionally runs
+        :meth:`check_integrity` on the restored database and raises
+        :class:`~repro.errors.IntegrityError` on any violation.
+        """
         data = Path(path).read_bytes()
         if not data.startswith(cls._IMAGE_MAGIC):
-            raise QueryError(f"{path!s} is not an InsightNotes image")
+            raise CorruptImageError(f"{path!s} is not an InsightNotes image")
         offset = len(cls._IMAGE_MAGIC)
-        version = int.from_bytes(data[offset:offset + 2], "big")
+        if len(data) < offset + cls._IMAGE_HEADER.size:
+            raise CorruptImageError(
+                f"{path!s}: image header truncated "
+                f"({len(data) - offset} of {cls._IMAGE_HEADER.size} bytes)"
+            )
+        version, payload_len, crc = cls._IMAGE_HEADER.unpack_from(data, offset)
         if version != cls._IMAGE_VERSION:
-            raise QueryError(
+            raise CorruptImageError(
                 f"image version {version} unsupported "
                 f"(engine writes v{cls._IMAGE_VERSION})"
             )
-        db = pickle.loads(data[offset + 2:])
+        payload = data[offset + cls._IMAGE_HEADER.size:]
+        if len(payload) != payload_len:
+            raise CorruptImageError(
+                f"{path!s}: payload truncated "
+                f"({len(payload)} of {payload_len} bytes)"
+            )
+        if zlib.crc32(payload) & 0xFFFFFFFF != crc:
+            raise CorruptImageError(f"{path!s}: payload CRC32 mismatch")
+        try:
+            db = pickle.loads(payload)
+        except Exception as exc:
+            raise CorruptImageError(
+                f"{path!s}: payload does not unpickle: {exc}"
+            ) from exc
         if not isinstance(db, cls):
-            raise QueryError(f"{path!s} does not contain a Database")
+            raise CorruptImageError(f"{path!s} does not contain a Database")
+        if verify:
+            db.check_integrity(raise_on_error=True)
         return db
 
     # -- statistics -------------------------------------------------------------------------------

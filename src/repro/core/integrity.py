@@ -1,0 +1,366 @@
+"""Whole-database integrity verification.
+
+:class:`IntegrityChecker` walks every persistent structure the engine owns
+and validates the invariants that hold between them:
+
+* **Physical** — on-disk CRC32 checksums of every protected slotted page
+  (read straight from the disk manager, *not* through the buffer pool, so
+  resident clean frames cannot mask on-disk corruption), and slot/free-space
+  accounting inside each heap page.
+* **Per-structure** — B-Tree invariants for every index (key ordering,
+  uniform leaf depth, sibling links, child/separator bounds) via
+  :meth:`~repro.btree.tree.BTree.structure_errors`, and record decodability
+  against each table's schema.
+* **Cross-structure** — OID-index ↔ heap RID bijections, secondary-index
+  agreement with table contents, SummaryStorage rows ↔ data tuples,
+  Summary-BTree entries (including the backward pointers of §4.1) ↔ the
+  de-normalized storage, baseline normalized replicas ↔ stored classifier
+  objects, and summary Elements[][] references ↔ the raw annotation store.
+
+The result is an :class:`IntegrityReport`: a list of typed
+:class:`Violation` records plus counters of what was covered. A clean
+database at any scale must produce an empty list; any seeded corruption
+(torn write, bit flip, truncated image, dangling pointer) must produce at
+least one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.catalog.keys import decode_int, encode_int, encode_key
+from repro.catalog.table import Table, unpack_rid
+from repro.errors import ReproError
+from repro.index.itemize import itemize
+from repro.storage.heapfile import RID, HeapFile
+from repro.storage.page import SlottedPage, verify_checksum
+from repro.summaries.objects import ClassifierObject
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One detected integrity violation."""
+
+    #: Which structure ("table birds", "summary index birds.C", …).
+    location: str
+    #: Violation class ("checksum-mismatch", "index-mismatch", …).
+    kind: str
+    #: Human-readable specifics.
+    detail: str
+
+    def __str__(self) -> str:
+        return f"[{self.location}] {self.kind}: {self.detail}"
+
+
+@dataclass
+class IntegrityReport:
+    """Outcome of one :meth:`IntegrityChecker.run`."""
+
+    violations: list[Violation] = field(default_factory=list)
+    pages_checked: int = 0
+    heaps_checked: int = 0
+    btrees_checked: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def __str__(self) -> str:
+        status = "OK" if self.ok else f"{len(self.violations)} violation(s)"
+        lines = [
+            f"integrity: {status} "
+            f"({self.pages_checked} checksummed pages, "
+            f"{self.heaps_checked} heaps, {self.btrees_checked} B-Trees)"
+        ]
+        lines.extend(str(v) for v in self.violations)
+        return "\n".join(lines)
+
+
+class IntegrityChecker:
+    """Runs every integrity check against one live Database."""
+
+    def __init__(self, db):
+        self.db = db
+        self.report = IntegrityReport()
+
+    def _flag(self, location: str, kind: str, detail: str) -> None:
+        self.report.violations.append(Violation(location, kind, detail))
+
+    def _guard(self, location: str, check, *args) -> None:
+        """Run one check section; a crash inside it becomes a violation
+        rather than aborting the whole audit (a checker that dies on the
+        first corrupt structure would hide every other problem)."""
+        try:
+            check(*args)
+        except ReproError as exc:
+            self._flag(location, "check-aborted", f"{type(exc).__name__}: {exc}")
+        except Exception as exc:  # pragma: no cover - defensive
+            self._flag(location, "check-crashed", f"{type(exc).__name__}: {exc}")
+
+    # -- physical layer ------------------------------------------------------
+
+    def _check_disk_checksums(self) -> None:
+        """Verify the on-disk CRC of every checksum-protected page.
+
+        Reads go straight to the disk manager: the buffer pool may hold a
+        clean in-memory copy of a page whose on-disk image has rotted, and
+        a pool read would serve the frame and mask the corruption. Pages
+        that are still all zeroes on disk were never written back and carry
+        no checksum yet.
+        """
+        for page_id in sorted(self.db.pool.protected_pages):
+            data = self.db.disk.read_page(page_id)
+            self.report.pages_checked += 1
+            if not any(data):
+                continue
+            if not verify_checksum(data):
+                self._flag(
+                    f"page {page_id}", "checksum-mismatch",
+                    "stored CRC32 does not match on-disk contents",
+                )
+
+    def _check_heap(self, heap: HeapFile, location: str) -> None:
+        """Slot/free-space accounting of every page + record count."""
+        self.report.heaps_checked += 1
+        live = 0
+        for page_no in range(len(heap.page_ids)):
+            page = SlottedPage(
+                self.db.pool.get_page(heap.page_ids[page_no]),
+                page_size=self.db.pool.disk.page_size,
+            )
+            for problem in page.check():
+                self._flag(f"{location} page {page_no}", "page-accounting", problem)
+            live += page.live_count()
+        if live != len(heap):
+            self._flag(
+                location, "count-mismatch",
+                f"pages hold {live} live records, heap counter says {len(heap)}",
+            )
+
+    def _check_btree(self, tree, location: str) -> None:
+        self.report.btrees_checked += 1
+        for problem in tree.structure_errors(location):
+            self._flag(location, "btree-structure", problem)
+
+    # -- heap + OID-index pairs ---------------------------------------------
+
+    def _check_heap_index_pair(
+        self, heap: HeapFile, oid_index, location: str, decode=None
+    ) -> dict[int, RID]:
+        """Common audit for the (heap, unique OID B-Tree) pairs used by
+        tables and summary storages: structures are sound, the index maps
+        OIDs onto exactly the heap's live RIDs, and every record decodes.
+
+        Returns the oid -> RID mapping for callers' cross-structure checks.
+        """
+        self._check_heap(heap, location)
+        self._check_btree(oid_index, f"{location} oid-index")
+        indexed: dict[int, RID] = {}
+        for key, value in oid_index.items():
+            oid = decode_int(key)
+            rid = unpack_rid(value)
+            if oid in indexed:
+                self._flag(
+                    location, "duplicate-oid",
+                    f"OID {oid} appears twice in the OID index",
+                )
+            indexed[oid] = rid
+        heap_rids = set()
+        for rid, record in heap.scan():
+            heap_rids.add(rid)
+            if decode is not None:
+                try:
+                    decode(record)
+                except ReproError as exc:
+                    self._flag(
+                        location, "record-decode",
+                        f"record at {rid} does not decode: {exc}",
+                    )
+        index_rids = set(indexed.values())
+        for rid in sorted(index_rids - heap_rids):
+            self._flag(
+                location, "dangling-rid",
+                f"OID index points at {rid} which holds no live record",
+            )
+        for rid in sorted(heap_rids - index_rids):
+            self._flag(
+                location, "unindexed-record",
+                f"live record at {rid} has no OID-index entry",
+            )
+        return indexed
+
+    # -- tables --------------------------------------------------------------
+
+    def _check_table(self, table: Table, location: str) -> None:
+        def decode(record: bytes) -> None:
+            values = table._codec.decode(record)
+            table.schema.validate_row(values)
+
+        indexed = self._check_heap_index_pair(
+            table.heap, table.oid_index, location, decode
+        )
+        if indexed and max(indexed) >= table._next_oid:
+            self._flag(
+                location, "oid-counter",
+                f"max OID {max(indexed)} >= next_oid {table._next_oid}: "
+                "future inserts would collide",
+            )
+        rows = dict(table.scan())
+        for column, index in table.secondary_indexes.items():
+            loc = f"{location} index({column})"
+            self._check_btree(index, loc)
+            ctype = table.schema.column(column).type
+            pos = table.schema.index_of(column)
+            expected = {
+                (encode_key(values[pos], ctype), encode_int(oid))
+                for oid, values in rows.items()
+            }
+            actual = set(index.items())
+            for key, value in sorted(expected - actual):
+                self._flag(
+                    loc, "index-mismatch",
+                    f"missing entry for OID {decode_int(value)}",
+                )
+            for key, value in sorted(actual - expected):
+                self._flag(
+                    loc, "index-mismatch",
+                    f"stale entry for OID {decode_int(value)}",
+                )
+
+    # -- summaries -----------------------------------------------------------
+
+    def _known_annotation_ids(self) -> set[int]:
+        return {ann.ann_id for ann in self.db.manager.annotations.scan()}
+
+    def _check_summary_storage(self, table_name: str, storage) -> None:
+        location = f"summary storage {table_name}"
+        self._check_heap_index_pair(
+            storage.heap, storage.oid_index, location, storage._decode
+        )
+        known_anns = self._known_annotation_ids()
+        table_oids = None
+        if self.db.catalog.has_table(table_name):
+            table = self.db.catalog.table(table_name)
+            table_oids = {oid for oid, _ in table.scan()}
+        for oid, objects in storage.scan():
+            if table_oids is not None and oid not in table_oids:
+                # Annotations on deleted tuples are removed through
+                # SummaryManager.on_tuple_delete; a leftover row means a
+                # tuple was dropped behind the manager's back.
+                self._flag(
+                    location, "orphan-summary-row",
+                    f"summary row for OID {oid} but no such data tuple",
+                )
+            for obj in objects.values():
+                missing = obj.all_annotation_ids() - known_anns
+                for ann_id in sorted(missing):
+                    self._flag(
+                        location, "dangling-element",
+                        f"object {obj.instance_name!r} on OID {oid} references "
+                        f"annotation {ann_id} absent from the store",
+                    )
+
+    def _check_summary_index(self, table_name: str, instance: str, index) -> None:
+        location = f"summary index {table_name}.{instance}"
+        self._check_btree(index.tree, location)
+        expected: set[tuple[bytes, bytes]] = set()
+        for oid, objects in index.storage.scan():
+            obj = objects.get(instance)
+            if not isinstance(obj, ClassifierObject):
+                continue
+            try:
+                pointer = index._pointer_for(oid)
+            except ReproError as exc:
+                # Backward pointers resolve through disk_tuple_loc(): a
+                # summarized OID whose data tuple is gone is exactly the
+                # dangling-backward-pointer corruption class.
+                self._flag(
+                    location, "dangling-backward-pointer",
+                    f"cannot resolve pointer for OID {oid}: {exc}",
+                )
+                continue
+            for label, count in obj.rep():
+                expected.add(
+                    (itemize(label, count, index.width).encode(), pointer)
+                )
+        actual = set(index.tree.items())
+        for key, value in sorted(expected - actual):
+            self._flag(
+                location, "index-mismatch",
+                f"missing entry {key.decode()!r}",
+            )
+        for key, value in sorted(actual - expected):
+            self._flag(
+                location, "index-mismatch",
+                f"stale entry {key.decode()!r}",
+            )
+
+    def _check_baseline_index(self, table_name: str, instance: str, index) -> None:
+        location = f"baseline index {table_name}.{instance}"
+        self._check_table(index.norm, f"{location} norm-table")
+        storage = self.db.manager.storage_for(table_name)
+        expected: set[tuple[int, str, int, str]] = set()
+        for oid, objects in storage.scan():
+            obj = objects.get(instance)
+            if not isinstance(obj, ClassifierObject):
+                continue
+            for label, count in obj.rep():
+                expected.add(
+                    (oid, label, count, itemize(label, count, index.width))
+                )
+        actual = set()
+        for _, values in index.norm.scan():
+            row = index.norm.schema.dict_from_row(values)
+            actual.add(
+                (row["data_oid"], row["label"], row["cnt"], row["derived"])
+            )
+        for oid, label, count, _ in sorted(expected - actual):
+            self._flag(
+                location, "replica-mismatch",
+                f"missing normalized row ({oid}, {label!r}, {count})",
+            )
+        for oid, label, count, _ in sorted(actual - expected):
+            self._flag(
+                location, "replica-mismatch",
+                f"stale normalized row ({oid}, {label!r}, {count})",
+            )
+
+    # -- entry point ---------------------------------------------------------
+
+    def run(self) -> IntegrityReport:
+        db = self.db
+        self._guard("disk", self._check_disk_checksums)
+        for name, table in db.catalog._tables.items():
+            self._guard(f"table {name}", self._check_table, table, f"table {name}")
+        self._guard(
+            "annotation store", self._check_table,
+            db.manager.annotations._table, "annotation store",
+        )
+        for table_name, storage in db.manager._storages.items():
+            self._guard(
+                f"summary storage {table_name}",
+                self._check_summary_storage, table_name, storage,
+            )
+        for (table_name, instance), index in db.summary_indexes.items():
+            self._guard(
+                f"summary index {table_name}.{instance}",
+                self._check_summary_index, table_name, instance, index,
+            )
+        for (table_name, instance), index in db.baseline_indexes.items():
+            self._guard(
+                f"baseline index {table_name}.{instance}",
+                self._check_baseline_index, table_name, instance, index,
+            )
+        for (table_name, instance), index in db.keyword_indexes.items():
+            loc = f"keyword index {table_name}.{instance}"
+            self._guard(loc, self._check_btree, index.postings, f"{loc} postings")
+            self._guard(loc, self._check_btree, index.reverse, f"{loc} reverse")
+        for (table_name, instance), replica in db.normalized_replicas.items():
+            loc = f"replica {table_name}.{instance}"
+            self._guard(
+                loc, self._check_table, replica.norm, f"{loc} norm-table"
+            )
+            self._guard(
+                loc, self._check_table, replica.members, f"{loc} member-table"
+            )
+        return self.report

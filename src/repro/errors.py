@@ -28,6 +28,29 @@ class BufferPoolError(StorageError):
     """Raised when the buffer pool cannot satisfy a pin request."""
 
 
+class CorruptPageError(StorageError):
+    """Raised when a page read back from disk fails its checksum or cannot
+    be parsed into a structurally valid page (torn write, bit rot)."""
+
+
+class InjectedFaultError(StorageError):
+    """Raised by the fault-injection layer for a scheduled fail-stop fault.
+
+    After a fail-stop fires the faulty disk is *dead*: every subsequent
+    operation raises this error too, modelling a crashed device.
+    """
+
+
+class TransientIOError(InjectedFaultError):
+    """Raised for a scheduled transient I/O fault: the operation failed but
+    the disk remains usable — a retry may succeed."""
+
+
+class IntegrityError(ReproError):
+    """Raised by ``Database.check_integrity(raise_on_error=True)`` when any
+    structural or cross-structure invariant is violated."""
+
+
 class IndexError_(ReproError):
     """Raised for B-Tree / Summary-BTree failures.
 
@@ -69,3 +92,13 @@ class BindError(QueryError):
 
 class PlanError(QueryError):
     """Raised when the optimizer cannot produce a physical plan."""
+
+
+class CorruptImageError(StorageError, QueryError):
+    """Raised when a database image file is truncated, bit-flipped, or
+    otherwise not a loadable image.
+
+    Inherits both :class:`StorageError` (it is a storage-level corruption)
+    and :class:`QueryError` (images are loaded through the query-facing
+    ``Database.load`` API, whose callers historically caught QueryError).
+    """

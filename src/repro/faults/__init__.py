@@ -1,0 +1,34 @@
+"""Deterministic, seeded fault injection for the storage substrate.
+
+The fault layer lets tests and benchmarks subject the engine to the disk
+misbehaviour a real DBMS must survive — fail-stop crashes, transient I/O
+errors, torn (partial) page writes, and bit rot — on a deterministic,
+seed-reproducible schedule:
+
+* :class:`FaultPlan` holds the schedule: which fault fires at which read or
+  write index, with a seeded RNG deciding torn lengths and bit positions.
+* :class:`FaultyDiskManager` is a drop-in :class:`~repro.storage.disk
+  .DiskManager` that consults the plan on every operation and counts every
+  injected fault through the PR-1 :class:`~repro.obs.metrics
+  .MetricsRegistry` (``faults.injected.*``).
+* :func:`install_faults` / :func:`remove_faults` swap the fault layer in
+  and out underneath a live :class:`~repro.core.database.Database` without
+  losing any on-disk state.
+
+Detection is the other half of the story: slotted heap pages carry CRC32
+checksums verified at buffer-pool read time, and
+``Database.check_integrity()`` audits every structure (see
+``repro.core.integrity``).
+"""
+
+from repro.faults.disk import FaultyDiskManager, install_faults, remove_faults
+from repro.faults.plan import Fault, FaultKind, FaultPlan
+
+__all__ = [
+    "Fault",
+    "FaultKind",
+    "FaultPlan",
+    "FaultyDiskManager",
+    "install_faults",
+    "remove_faults",
+]

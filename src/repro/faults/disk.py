@@ -1,0 +1,155 @@
+"""A DiskManager that injects scheduled faults.
+
+:class:`FaultyDiskManager` subclasses the simulated
+:class:`~repro.storage.disk.DiskManager`, consulting a
+:class:`~repro.faults.plan.FaultPlan` on every page read and write:
+
+* **fail-stop** — the operation raises
+  :class:`~repro.errors.InjectedFaultError` and the disk is dead; every
+  later operation raises too (a crashed device does not come back).
+* **transient** — the operation raises
+  :class:`~repro.errors.TransientIOError` once; retries may succeed.
+* **torn write** — a seeded prefix of the new page lands on disk, the
+  remainder keeps its old bytes; with ``crash=True`` (default) the disk
+  then fail-stops, modelling power loss mid-write.
+* **bit flip** — on writes, seeded bits of the stored page are silently
+  inverted (persistent rot); on reads, the returned copy is corrupted
+  while the stored bytes stay intact (transient rot).
+
+Every injected fault is counted in the engine's
+:class:`~repro.obs.metrics.MetricsRegistry` under ``faults.injected`` and
+``faults.injected.<kind>``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import InjectedFaultError, TransientIOError
+from repro.faults.plan import Fault, FaultKind, FaultPlan
+from repro.obs.metrics import MetricsRegistry
+from repro.storage.disk import DiskManager
+
+
+@dataclass
+class FaultyDiskManager(DiskManager):
+    """A :class:`DiskManager` that injects faults from a :class:`FaultPlan`."""
+
+    plan: FaultPlan = field(default_factory=FaultPlan)
+    metrics: MetricsRegistry | None = None
+    #: Operation counters the schedule indexes against (0-based).
+    read_ops: int = 0
+    write_ops: int = 0
+    #: True once a fail-stop fault fired; the disk never recovers.
+    dead: bool = False
+    #: Every fault fired, as ``(kind, op, op_index, page_id)``.
+    injected: list[tuple[str, str, int, int]] = field(default_factory=list)
+
+    # -- bookkeeping --------------------------------------------------------
+
+    def _record(self, fault: Fault, op: str, index: int, page_id: int) -> None:
+        self.injected.append((fault.kind, op, index, page_id))
+        if self.metrics is not None:
+            self.metrics.inc("faults.injected")
+            self.metrics.inc(f"faults.injected.{fault.kind}")
+
+    def _require_alive(self) -> None:
+        if self.dead:
+            raise InjectedFaultError("disk has fail-stopped")
+
+    def _flip_bits(self, data: bytearray, bits: int) -> None:
+        for _ in range(max(1, bits)):
+            position = self.plan.rng.randrange(len(data) * 8)
+            data[position // 8] ^= 1 << (position % 8)
+
+    # -- faulted operations -------------------------------------------------
+
+    def read_page(self, page_id: int) -> bytearray:
+        self._require_alive()
+        self._check(page_id)
+        index = self.read_ops
+        self.read_ops += 1
+        fault = self.plan.match("read", index)
+        if fault is None:
+            return super().read_page(page_id)
+        self._record(fault, "read", index, page_id)
+        if fault.kind == FaultKind.FAIL_STOP:
+            self.dead = True
+            raise InjectedFaultError(
+                f"injected fail-stop on read #{index} (page {page_id})"
+            )
+        if fault.kind == FaultKind.TRANSIENT:
+            raise TransientIOError(
+                f"injected transient error on read #{index} (page {page_id})"
+            )
+        # BIT_FLIP on a read corrupts only the returned copy.
+        data = super().read_page(page_id)
+        self._flip_bits(data, fault.bits)
+        return data
+
+    def write_page(self, page_id: int, data: bytes | bytearray) -> None:
+        self._require_alive()
+        self._check(page_id)
+        index = self.write_ops
+        self.write_ops += 1
+        fault = self.plan.match("write", index)
+        if fault is None:
+            super().write_page(page_id, data)
+            return
+        self._record(fault, "write", index, page_id)
+        if fault.kind == FaultKind.FAIL_STOP:
+            self.dead = True
+            raise InjectedFaultError(
+                f"injected fail-stop on write #{index} (page {page_id})"
+            )
+        if fault.kind == FaultKind.TRANSIENT:
+            raise TransientIOError(
+                f"injected transient error on write #{index} (page {page_id})"
+            )
+        if fault.kind == FaultKind.TORN_WRITE:
+            old = self._pages[page_id]
+            assert old is not None
+            torn_at = fault.torn_bytes
+            if torn_at is None:
+                torn_at = self.plan.rng.randrange(1, self.page_size)
+            torn = bytearray(data[:torn_at]) + old[torn_at:]
+            super().write_page(page_id, torn)
+            if fault.crash:
+                self.dead = True
+                raise InjectedFaultError(
+                    f"injected torn write (crash after {torn_at} bytes) on "
+                    f"write #{index} (page {page_id})"
+                )
+            return
+        # BIT_FLIP on a write stores a corrupted image: persistent rot.
+        corrupted = bytearray(data)
+        self._flip_bits(corrupted, fault.bits)
+        super().write_page(page_id, corrupted)
+
+
+def install_faults(db, plan: FaultPlan) -> FaultyDiskManager:
+    """Swap a :class:`FaultyDiskManager` in underneath a live database.
+
+    The faulty manager adopts the existing disk's pages, free list, and
+    I/O counters, so installed faults change *behaviour* only — never
+    state. Injected faults are counted through ``db.metrics``.
+    """
+    faulty = FaultyDiskManager(
+        page_size=db.disk.page_size, plan=plan, metrics=db.metrics
+    )
+    faulty.stats = db.disk.stats
+    faulty._pages = db.disk._pages
+    faulty._free = db.disk._free
+    db.disk = faulty
+    db.pool.disk = faulty
+    return faulty
+
+
+def remove_faults(db) -> None:
+    """Restore a plain :class:`DiskManager` over the same on-disk state."""
+    plain = DiskManager(page_size=db.disk.page_size)
+    plain.stats = db.disk.stats
+    plain._pages = db.disk._pages
+    plain._free = db.disk._free
+    db.disk = plain
+    db.pool.disk = plain

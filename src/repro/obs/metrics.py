@@ -14,6 +14,9 @@ Naming convention used by the engine::
     index.summary.<tbl>.<inst>.probes   Summary-BTree probe counts
     pool.hits / pool.misses      buffer-pool counters (merged at snapshot)
     disk.reads / disk.writes     DiskManager counters (merged at snapshot)
+    faults.injected              total injected disk faults (repro.faults)
+    faults.injected.<kind>       per-kind: fail_stop / transient /
+                                 torn_write / bit_flip
 """
 
 from __future__ import annotations

@@ -4,6 +4,11 @@ The buffer pool caches page bytes between the storage structures (heap
 files, B-Trees) and the simulated disk. Page fetches that miss the pool cost
 one disk read; evictions of dirty frames cost one disk write. Hit/miss
 counters are tracked so benchmarks can report cache behaviour.
+
+Pages registered via :meth:`BufferPool.protect` (the heap files' slotted
+pages) are *checksummed*: their CRC32 header field is stamped on every
+write-back and verified on every miss read, so on-disk corruption raises
+:class:`~repro.errors.CorruptPageError` instead of being decoded.
 """
 
 from __future__ import annotations
@@ -11,8 +16,9 @@ from __future__ import annotations
 from collections import OrderedDict
 from dataclasses import dataclass
 
-from repro.errors import BufferPoolError
+from repro.errors import BufferPoolError, CorruptPageError
 from repro.storage.disk import DiskManager
+from repro.storage.page import stamp_checksum, verify_checksum
 
 DEFAULT_POOL_PAGES = 256
 
@@ -35,13 +41,48 @@ class BufferPool:
         self.hits = 0
         self.misses = 0
         self._frames: OrderedDict[int, _Frame] = OrderedDict()
+        #: page ids whose CRC32 header field is stamped/verified (slotted
+        #: heap pages; B-Tree nodes and overflow chunks have no CRC field).
+        self._protected: set[int] = set()
+
+    # -- checksums ------------------------------------------------------------
+
+    def protect(self, page_id: int) -> None:
+        """Enroll ``page_id`` for CRC32 stamping/verification."""
+        self._protected.add(page_id)
+
+    def unprotect(self, page_id: int) -> None:
+        self._protected.discard(page_id)
+
+    def is_protected(self, page_id: int) -> bool:
+        return page_id in self._protected
+
+    @property
+    def protected_pages(self) -> frozenset[int]:
+        """Checksummed page ids (the integrity checker's disk-scan set)."""
+        return frozenset(self._protected)
+
+    def _verify(self, page_id: int, data: bytearray) -> None:
+        # An all-zero page was allocated but never written back; it carries
+        # no checksum yet and cannot have been torn.
+        if data == bytes(len(data)):
+            return
+        if not verify_checksum(data):
+            raise CorruptPageError(
+                f"page {page_id} failed its checksum on read "
+                "(torn write or bit corruption)"
+            )
 
     # -- page lifecycle -------------------------------------------------------
 
     def new_page(self) -> int:
-        """Allocate a fresh page on disk and cache it; returns the page id."""
-        page_id = self.disk.allocate_page()
+        """Allocate a fresh page on disk and cache it; returns the page id.
+
+        Room is made *before* allocating so a failed eviction write cannot
+        leak a freshly allocated but uncached disk page.
+        """
         self._make_room()
+        page_id = self.disk.allocate_page()
         self._frames[page_id] = _Frame(bytearray(self.disk.page_size), dirty=True)
         return page_id
 
@@ -50,6 +91,10 @@ class BufferPool:
 
         The returned bytearray is the live frame: callers that mutate it must
         follow up with :meth:`mark_dirty`.
+
+        The frame is only installed after the disk read succeeded and (for
+        protected pages) the checksum verified, so a failed or corrupt read
+        can never leave a half-initialized frame in the pool.
         """
         frame = self._frames.get(page_id)
         if frame is not None:
@@ -58,6 +103,8 @@ class BufferPool:
             return frame.data
         self.misses += 1
         data = self.disk.read_page(page_id)
+        if page_id in self._protected:
+            self._verify(page_id, data)
         self._make_room()
         self._frames[page_id] = _Frame(data)
         return data
@@ -95,6 +142,7 @@ class BufferPool:
                 f"page {page_id} is pinned ({frame.pins}x); cannot free"
             )
         self._frames.pop(page_id, None)
+        self._protected.discard(page_id)
         self.disk.deallocate_page(page_id)
 
     # -- pinning -------------------------------------------------------------
@@ -117,6 +165,8 @@ class BufferPool:
     def flush_page(self, page_id: int) -> None:
         frame = self._frames.get(page_id)
         if frame is not None and frame.dirty:
+            if page_id in self._protected:
+                stamp_checksum(frame.data)
             self.disk.write_page(page_id, frame.data)
             frame.dirty = False
 
@@ -140,9 +190,16 @@ class BufferPool:
                     break
             if victim_id is None:
                 raise BufferPoolError("all frames are pinned; cannot evict")
-            frame = self._frames.pop(victim_id)
+            # Write back *before* dropping the frame: if the disk write
+            # fails, the dirty frame must stay resident (and dirty) or its
+            # contents would be silently lost.
+            frame = self._frames[victim_id]
             if frame.dirty:
+                if victim_id in self._protected:
+                    stamp_checksum(frame.data)
                 self.disk.write_page(victim_id, frame.data)
+                frame.dirty = False
+            self._frames.pop(victim_id)
 
     @property
     def hit_rate(self) -> float:

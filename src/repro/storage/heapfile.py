@@ -17,7 +17,7 @@ from __future__ import annotations
 import struct
 from typing import Iterator, NamedTuple
 
-from repro.errors import PageFullError, StorageError
+from repro.errors import CorruptPageError, PageFullError, StorageError
 from repro.storage.buffer import BufferPool
 from repro.storage.page import SlottedPage
 
@@ -121,8 +121,14 @@ class HeapFile:
         return _OVERFLOW_STUB.pack(_OVERFLOW_TAG, len(record), head)
 
     def _unwrap(self, stored: bytes) -> bytes:
+        if len(stored) == 0:
+            raise CorruptPageError("empty stored record")
         if stored[0] == _INLINE_TAG:
             return stored[1:]
+        if stored[0] != _OVERFLOW_TAG or len(stored) != _OVERFLOW_STUB.size:
+            raise CorruptPageError(
+                f"bad record framing: tag {stored[0]}, {len(stored)} bytes"
+            )
         _, total_len, head = _OVERFLOW_STUB.unpack(stored)
         return self._read_overflow(head, total_len)
 
@@ -148,6 +154,9 @@ class HeapFile:
                 self._record_count += 1
                 return RID(page_no, slot)
         page_id = self.pool.new_page()
+        # Slotted pages carry a CRC32 header field: enroll them so the pool
+        # stamps it on write-back and verifies it on miss reads.
+        self.pool.protect(page_id)
         self.page_ids.append(page_id)
         page_no = len(self.page_ids) - 1
         fresh = SlottedPage(page_size=self.pool.disk.page_size)

@@ -7,24 +7,51 @@ RIDs of other records remain stable.
 
 Layout::
 
-    [ num_slots:u16 | free_end:u16 ]                      header (4 bytes)
+    [ num_slots:u16 | free_end:u16 | crc32:u32 ]          header (8 bytes)
     [ (offset:u16, length:u16) * num_slots ]              slot directory
     ...free space...
     [ record payloads packed right-to-left ]
+
+The ``crc32`` field covers every byte of the page *except itself* (bytes
+``[0:4]`` plus ``[8:page_size]``). It is stamped by the buffer pool when a
+dirty page is written back to disk and verified when the page is read on a
+miss, so torn writes and bit flips surface as a typed
+:class:`~repro.errors.CorruptPageError` instead of decoding garbage.
 """
 
 from __future__ import annotations
 
 import struct
+import zlib
 
 from repro.errors import PageFullError, RecordNotFoundError, StorageError
 
 PAGE_SIZE = 8192
 
-_HEADER = struct.Struct("<HH")
+_HEADER = struct.Struct("<HHI")  # num_slots, free_end, crc32
 _SLOT = struct.Struct("<HH")
 _HEADER_SIZE = _HEADER.size
 _SLOT_SIZE = _SLOT.size
+_CRC = struct.Struct("<I")
+_CRC_OFFSET = 4
+
+
+def compute_checksum(data: bytes | bytearray) -> int:
+    """CRC32 of a slotted page, excluding the checksum field itself."""
+    view = memoryview(data)
+    crc = zlib.crc32(view[:_CRC_OFFSET])
+    return zlib.crc32(view[_CRC_OFFSET + _CRC.size:], crc) & 0xFFFFFFFF
+
+
+def stamp_checksum(data: bytearray) -> None:
+    """Write the page's current CRC32 into its header field."""
+    _CRC.pack_into(data, _CRC_OFFSET, compute_checksum(data))
+
+
+def verify_checksum(data: bytes | bytearray) -> bool:
+    """True when the stored CRC32 matches the page contents."""
+    (stored,) = _CRC.unpack_from(data, _CRC_OFFSET)
+    return stored == compute_checksum(data)
 
 #: A slot with this offset marks a deleted record (offset 0 can never hold a
 #: record because the header occupies it).
@@ -38,7 +65,7 @@ class SlottedPage:
         self.page_size = page_size
         if data is None:
             data = bytearray(page_size)
-            _HEADER.pack_into(data, 0, 0, page_size)
+            _HEADER.pack_into(data, 0, 0, page_size, 0)
         if len(data) != page_size:
             raise StorageError(f"page of {len(data)} bytes; expected {page_size}")
         self.data = data
@@ -55,7 +82,9 @@ class SlottedPage:
         return _HEADER.unpack_from(self.data, 0)[1]
 
     def _set_header(self, num_slots: int, free_end: int) -> None:
-        _HEADER.pack_into(self.data, 0, num_slots, free_end)
+        # The crc field (bytes 4..8) is left alone: it is stamped by the
+        # buffer pool at write-back time, not on every mutation.
+        struct.pack_into("<HH", self.data, 0, num_slots, free_end)
 
     def _slot(self, slot_no: int) -> tuple[int, int]:
         if not 0 <= slot_no < self.num_slots:
@@ -169,3 +198,62 @@ class SlottedPage:
     def live_count(self) -> int:
         """Number of live (non-tombstoned) records."""
         return sum(1 for i in range(self.num_slots) if self._slot(i)[0] != _TOMBSTONE)
+
+    # -- integrity ----------------------------------------------------------
+
+    def check(self) -> list[str]:
+        """Verify slot/free-space accounting; returns problem descriptions.
+
+        The invariants enforced (all guaranteed by insert/update/delete plus
+        eager compaction):
+
+        * header bounds: slot directory ends at or before ``free_end``,
+          ``free_end`` within the page;
+        * every live slot lies inside ``[free_end, page_size)``;
+        * tombstones carry length 0;
+        * live records exactly tile ``[free_end, page_size)`` — no overlap,
+          no gaps.
+        """
+        problems: list[str] = []
+        try:
+            num_slots, free_end = struct.unpack_from("<HH", self.data, 0)
+        except struct.error as exc:  # pragma: no cover - header always 8B
+            return [f"unreadable header: {exc}"]
+        dir_end = _HEADER_SIZE + num_slots * _SLOT_SIZE
+        if free_end > self.page_size:
+            return [f"free_end {free_end} beyond page size {self.page_size}"]
+        if dir_end > free_end:
+            return [
+                f"slot directory ({num_slots} slots, ends {dir_end}) "
+                f"overlaps record area (free_end {free_end})"
+            ]
+        live: list[tuple[int, int, int]] = []
+        for i in range(num_slots):
+            offset, length = _SLOT.unpack_from(
+                self.data, _HEADER_SIZE + i * _SLOT_SIZE
+            )
+            if offset == _TOMBSTONE:
+                if length != 0:
+                    problems.append(f"tombstone slot {i} has length {length}")
+                continue
+            if offset < free_end or offset + length > self.page_size:
+                problems.append(
+                    f"slot {i} extent [{offset}, {offset + length}) outside "
+                    f"record area [{free_end}, {self.page_size})"
+                )
+                continue
+            live.append((offset, length, i))
+        expected = free_end
+        for offset, length, i in sorted(live):
+            if offset != expected:
+                kind = "overlaps" if offset < expected else "leaves a gap before"
+                problems.append(
+                    f"slot {i} at offset {offset} {kind} expected offset "
+                    f"{expected} (records must tile the record area)"
+                )
+            expected = max(expected, offset + length)
+        if expected != self.page_size:
+            problems.append(
+                f"record area ends at {expected}, not page size {self.page_size}"
+            )
+        return problems

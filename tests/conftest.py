@@ -1,0 +1,37 @@
+"""Shared test configuration.
+
+Registers Hypothesis profiles so example counts scale with the run:
+
+* ``dev`` (default) — small example counts, keeps the tier-1 suite fast.
+* ``ci-slow`` — the scheduled CI job's deep run: an order of magnitude more
+  examples, no deadline.
+
+Select with ``HYPOTHESIS_PROFILE=ci-slow``. The stateful DML suite also
+reads ``REPRO_STATEFUL_EXAMPLES`` / ``REPRO_STATEFUL_STEPS`` directly so
+the fault-sweep matrix can crank just that dimension.
+"""
+
+from __future__ import annotations
+
+import os
+
+try:
+    from hypothesis import HealthCheck, settings
+
+    settings.register_profile(
+        "dev",
+        max_examples=25,
+        stateful_step_count=20,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    settings.register_profile(
+        "ci-slow",
+        max_examples=300,
+        stateful_step_count=50,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
+except ImportError:  # pragma: no cover - hypothesis-less environments
+    pass

@@ -1,0 +1,116 @@
+"""Crash matrix for Database.save()/load().
+
+``save()`` flushes every dirty page and then writes the image via a
+temporary file + atomic rename. A crash at *any* point must leave a path
+that either loads to an integrity-checked database (old or new state) or
+raises a typed :class:`~repro.errors.CorruptImageError` — never a load
+that silently returns wrong data.
+
+The matrix injects a fail-stop at every disk-write index of the flush on a
+pickled clone (the original stays pristine), plus the tmp-file crash
+window between write and rename.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.catalog.schema import Column
+from repro.core.database import Database
+from repro.errors import InjectedFaultError
+from repro.faults import FaultPlan, install_faults
+from repro.storage.record import ValueType
+
+
+def make_db() -> Database:
+    db = Database(buffer_pages=16)
+    db.create_table("t", [Column("name", ValueType.TEXT),
+                          Column("v", ValueType.INT)])
+    db.create_index("t", "v")
+    db.create_classifier_instance(
+        "C", ["alpha", "beta"],
+        [("apple alpha fruit", "alpha"), ("bear beta animal", "beta")],
+    )
+    db.sql("Alter Table t Add Indexable C")
+    for i in range(40):
+        oid = db.insert("t", [f"r{i}", i % 5])
+        if i % 3 == 0:
+            db.add_annotation("apple alpha fruit", table="t", oid=oid)
+    return db
+
+
+def clone(db: Database) -> Database:
+    return pickle.loads(pickle.dumps(db))
+
+
+def mutate(db: Database) -> None:
+    """Dirty a spread of pages: heap, B-Trees, summary structures."""
+    for i in range(20):
+        oid = db.insert("t", [f"new{i}", 7])
+        if i % 2 == 0:
+            db.add_annotation("bear beta animal", table="t", oid=oid)
+    db.delete_tuple("t", 1)
+
+
+class TestCrashDuringSave:
+    def test_every_write_index(self, tmp_path):
+        base = make_db()
+        path = tmp_path / "img.db"
+        base.save(path)
+        old_image = path.read_bytes()
+        mutate(base)
+
+        # Count the flush's disk writes on a throwaway clone.
+        probe = clone(base)
+        counter = install_faults(probe, FaultPlan())
+        probe.save(tmp_path / "probe.db")
+        total_writes = counter.write_ops
+        assert total_writes > 0, "matrix is vacuous: no dirty pages to flush"
+
+        for i in range(total_writes):
+            path.write_bytes(old_image)
+            victim = clone(base)
+            install_faults(victim, FaultPlan().fail_write(at=i))
+            with pytest.raises(InjectedFaultError):
+                victim.save(path)
+            # The old image is untouched (the file write never began) and
+            # loads to a database that passes the full audit.
+            restored = Database.load(path, verify=True)
+            assert len(restored.catalog.table("t")) == 40
+
+        # No fault: the save completes and the new state round-trips.
+        survivor = clone(base)
+        install_faults(survivor, FaultPlan())
+        survivor.save(path)
+        restored = Database.load(path, verify=True)
+        assert len(restored.catalog.table("t")) == len(base.catalog.table("t"))
+
+    def test_crash_between_tmp_write_and_rename(self, tmp_path):
+        db = make_db()
+        path = tmp_path / "img.db"
+        db.save(path)
+        old_image = path.read_bytes()
+        mutate(db)
+        # Simulate a crash after the tmp file was (partially) written but
+        # before the atomic rename: the destination still holds the old
+        # image and must load cleanly; the orphan tmp is just ignored.
+        tmp = path.with_name(path.name + ".tmp")
+        tmp.write_bytes(b"partial garbage that never got renamed")
+        restored = Database.load(path, verify=True)
+        assert path.read_bytes() == old_image
+        assert len(restored.catalog.table("t")) == 40
+
+    def test_saved_image_same_after_failed_save(self, tmp_path):
+        """A failed save must not leave a half-written destination."""
+        db = make_db()
+        path = tmp_path / "img.db"
+        db.save(path)
+        old_image = path.read_bytes()
+        mutate(db)
+        victim = clone(db)
+        install_faults(victim, FaultPlan().fail_write(at=0))
+        with pytest.raises(InjectedFaultError):
+            victim.save(path)
+        assert path.read_bytes() == old_image

@@ -1,0 +1,110 @@
+"""Fuzz queries under injected transient read faults.
+
+The fail-safe property the acceptance criteria demand: a query running
+while the disk throws scheduled transient errors must either return exactly
+the fault-free result or raise a typed :class:`~repro.errors.StorageError`
+— it may never return a silently partial or corrupted result set.
+
+Hypothesis drives both the query shape (reusing test_plan_fuzz's predicate
+space) and the fault schedule (first faulted read + recurrence period).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+from repro.errors import StorageError  # noqa: E402
+from repro.faults import FaultPlan, install_faults, remove_faults  # noqa: E402
+from repro.workload.generator import WorkloadConfig, build_database  # noqa: E402
+
+LABELS = ["Disease", "Anatomy", "Behavior", "Other"]
+OPS = ["=", "<", "<=", ">", ">="]
+EXPR = "$.getSummaryObject('ClassBird1').getLabelValue"
+
+
+@pytest.fixture(scope="module")
+def db():
+    return build_database(WorkloadConfig(
+        num_birds=30, annotations_per_tuple=20, indexes="both",
+        cell_fraction=0.0, seed=6,
+    ))
+
+
+predicates = st.lists(
+    st.tuples(
+        st.sampled_from(LABELS),
+        st.sampled_from(OPS),
+        st.integers(0, 15),
+    ),
+    min_size=1,
+    max_size=2,
+)
+
+
+def build_query(preds):
+    where = " And ".join(
+        f"r.{EXPR}('{label}') {op} {constant}"
+        for label, op, constant in preds
+    )
+    return f"Select common_name From birds r Where {where}"
+
+
+def run(db, sql):
+    return sorted(t.get("common_name") for t in db.sql(sql).tuples)
+
+
+class TestFuzzUnderFault:
+    @given(
+        preds=predicates,
+        first=st.integers(min_value=0, max_value=40),
+        period=st.one_of(st.none(), st.integers(min_value=1, max_value=13)),
+        scheme=st.sampled_from(["none", "summary_btree", "baseline"]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_transient_reads_never_yield_partial_results(
+        self, db, preds, first, period, scheme
+    ):
+        sql = build_query(preds)
+        db.options.index_scheme = scheme
+        try:
+            reference = run(db, sql)
+            faulty = install_faults(
+                db, FaultPlan(seed=first).transient_read(at=first, period=period)
+            )
+            try:
+                db.pool.clear()  # cold cache: the query must actually read
+                try:
+                    got = run(db, sql)
+                except StorageError:
+                    got = None  # typed failure is an acceptable outcome
+            finally:
+                remove_faults(db)
+            if got is not None:
+                assert got == reference, sql
+        finally:
+            db.options.index_scheme = "summary_btree"
+        # The faults were transient: the database is fully usable after.
+        assert run(db, sql) == reference
+
+    @given(first=st.integers(min_value=0, max_value=60))
+    @settings(max_examples=15, deadline=None)
+    def test_fail_stop_mid_query_is_typed(self, db, first):
+        sql = build_query([("Disease", ">", 0)])
+        reference = run(db, sql)
+        faulty = install_faults(db, FaultPlan().fail_read(at=first))
+        try:
+            db.pool.clear()
+            try:
+                got = run(db, sql)
+                # With a large `first` the query may finish before the
+                # fault's read index is ever reached.
+                assert got == reference
+            except StorageError:
+                pass  # typed, never garbage
+        finally:
+            remove_faults(db)
+        assert run(db, sql) == reference
