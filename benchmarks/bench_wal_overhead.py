@@ -1,0 +1,86 @@
+"""WAL overhead — cost of crash safety on the DML path (no paper figure).
+
+Every mutating statement now appends one logical record to the WAL and
+fsyncs it before acknowledging (``repro.wal``).  This bench measures what
+that buys back in overhead: the same mixed DML churn — annotation
+inserts, tuple inserts, updates, deletes — timed per statement against an
+identical database with logging off vs. on (in-memory log device, so the
+numbers isolate the engine-side cost: record encoding, LSN stamping,
+log-before-data ordering — not a disk's fsync latency).
+
+Acceptance target: < 15% per-statement slowdown at the small preset.
+"""
+
+import random
+import time
+
+import pytest
+
+from repro.bench import FigureTable, fresh_database
+from repro.wal.device import MemoryWALDevice
+from repro.workload.generator import WorkloadConfig, annotation_batch
+
+STATEMENTS = 120
+
+
+def _avg_statement_ms(db, config, rng) -> float:
+    """Average wall time of STATEMENTS mixed DML statements."""
+    oids = [oid for oid, _ in db.catalog.table("birds").scan()]
+    started = time.perf_counter()
+    for i in range(STATEMENTS):
+        action = i % 4
+        if action in (0, 1):  # annotation insert (the dominant write)
+            oid = rng.choice(oids)
+            [(text, targets)] = annotation_batch(rng, oid, config, 1)
+            db.manager.add_annotation(text, targets)
+        elif action == 2:
+            oid = db.insert(
+                "birds", {"scientific_name": f"churn bird {i}"}
+            )
+            oids.append(oid)
+        else:
+            victim = oids.pop(rng.randrange(len(oids)))
+            db.delete_tuple("birds", victim)
+    return (time.perf_counter() - started) / STATEMENTS * 1e3
+
+
+@pytest.mark.benchmark(group="wal-overhead")
+@pytest.mark.parametrize("density", [10, 50, 200])
+def test_wal_overhead(benchmark, density, preset, figure_writer):
+    if density not in preset.densities:
+        pytest.skip(f"density {density} not in preset {preset.name}")
+    config = WorkloadConfig(
+        num_birds=preset.num_birds, annotations_per_tuple=density,
+        indexes="summary_btree",
+    )
+
+    def run_all():
+        results = []
+        for wal_on in (False, True):
+            db = fresh_database(
+                num_birds=config.num_birds,
+                annotations_per_tuple=config.annotations_per_tuple,
+                indexes="summary_btree",
+            )
+            if wal_on:
+                db.attach_wal(MemoryWALDevice())
+            results.append(_avg_statement_ms(db, config, random.Random(7)))
+        return tuple(results)
+
+    off_ms, on_ms = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    table = figure_writer.setdefault(
+        "wal_overhead",
+        FigureTable(
+            "WAL overhead — mixed DML, avg per statement", unit="ms"
+        ),
+    )
+    x = preset.label(density)
+    table.add("WAL off", x, off_ms)
+    table.add("WAL on", x, on_ms)
+    if density == max(d for d in (10, 50, 200) if d in preset.densities):
+        overhead = table.mean_ratio("WAL on", "WAL off") - 1
+        table.note(
+            f"WAL adds {overhead:.0%} per-statement overhead"
+            "  [target: < 15%]"
+        )

@@ -51,10 +51,24 @@ class AnnotationStore:
     def __len__(self) -> int:
         return len(self._table)
 
-    def create(self, text: str, targets: list[AnnotationTarget]) -> Annotation:
-        """Persist a new annotation; assigns and returns its id."""
-        annotation = Annotation(self._next_id, text, list(targets))
-        self._next_id += 1
+    @property
+    def next_id(self) -> int:
+        """The id the next create will assign (WAL records log it ahead)."""
+        return self._next_id
+
+    def create(
+        self, text: str, targets: list[AnnotationTarget],
+        ann_id: int | None = None,
+    ) -> Annotation:
+        """Persist a new annotation; assigns and returns its id.
+
+        ``ann_id`` forces the id (WAL replay re-creating the annotation
+        under its original identity); the counter advances past it.
+        """
+        if ann_id is None:
+            ann_id = self._next_id
+        annotation = Annotation(ann_id, text, list(targets))
+        self._next_id = max(self._next_id, ann_id + 1)
         self._table.insert(
             {
                 "ann_id": annotation.ann_id,

@@ -14,9 +14,10 @@ from typing import Iterator
 from repro.btree import BTree
 from repro.catalog.keys import decode_int, encode_int, encode_key
 from repro.catalog.schema import Schema
-from repro.errors import CatalogError, RecordNotFoundError
+from repro.errors import CatalogError, RecordNotFoundError, ReproError
 from repro.storage.buffer import BufferPool
 from repro.storage.heapfile import HeapFile, RID
+from repro.storage.page import SlottedPage
 
 _RID_CODEC = struct.Struct("<IH")
 
@@ -55,12 +56,35 @@ class Table:
 
     # -- DML -------------------------------------------------------------------
 
-    def insert(self, row: dict[str, object] | list[object]) -> int:
-        """Insert a row (mapping or positional); returns its OID."""
+    def canonical_row(self, row: dict[str, object] | list[object]) -> list[object]:
+        """Validated positional values for ``row`` (mapping or positional).
+
+        This is the canonical form WAL records carry: replay re-inserts
+        exactly these values regardless of how the original call spelled
+        the row.
+        """
         values = self.schema.row_from_dict(row) if isinstance(row, dict) else list(row)
         self.schema.validate_row(values)
-        oid = self._next_oid
-        self._next_oid += 1
+        return values
+
+    @property
+    def next_oid(self) -> int:
+        """The OID the next insert will assign (WAL records log it ahead)."""
+        return self._next_oid
+
+    def insert(
+        self, row: dict[str, object] | list[object], oid: int | None = None
+    ) -> int:
+        """Insert a row (mapping or positional); returns its OID.
+
+        ``oid`` forces the assigned OID (WAL replay re-creating a tuple
+        under its original identity); the OID counter always advances past
+        it so later inserts cannot collide.
+        """
+        values = self.canonical_row(row)
+        if oid is None:
+            oid = self._next_oid
+        self._next_oid = max(self._next_oid, oid + 1)
         rid = self.heap.insert(self._codec.encode(values))
         self.oid_index.insert(encode_int(oid), pack_rid(rid))
         for col_name, index in self.secondary_indexes.items():
@@ -129,6 +153,87 @@ class Table:
         }
         for rid, record in self.heap.scan():
             yield rid_to_oid[rid], self._codec.decode(record)
+
+    # -- repair ------------------------------------------------------------------
+
+    def reindex(self) -> dict[str, int]:
+        """Rebuild every index of this table from its heap (repair path).
+
+        The OID index is the *only* holder of OID assignments, so it cannot
+        be conjured from the heap: entries whose RID no longer holds a
+        live, schema-decodable record are **pruned**, and live heap records
+        with no surviving OID mapping (or that fail to decode) are
+        **salvaged** out — their identity is unrecoverable. Secondary
+        indexes are fully derived and are rebuilt wholesale. The heap's
+        record counter is re-derived from the pages at the end.
+
+        Returns counters: ``kept``, ``pruned``, ``salvaged``.
+        """
+        # Best-effort read of the existing OID mapping; an unreadable index
+        # contributes nothing (its records will be salvaged, not orphaned
+        # under invented OIDs).
+        entries: dict[int, RID] = {}
+        try:
+            for key, value in self.oid_index.items():
+                entries.setdefault(decode_int(key), unpack_rid(value))
+        except ReproError:
+            entries = {}
+        # Live, decodable heap records (per-page so one corrupt record
+        # cannot abort the whole walk).
+        live: dict[RID, list[object]] = {}
+        bad: list[RID] = []
+        for page_no in range(len(self.heap.page_ids)):
+            page = SlottedPage(
+                self.pool.get_page(self.heap.page_ids[page_no]),
+                page_size=self.pool.disk.page_size,
+            )
+            for slot, stored in page.records():
+                rid = RID(page_no, slot)
+                try:
+                    values = self._codec.decode(self.heap._unwrap(stored))
+                    self.schema.validate_row(values)
+                except ReproError:
+                    bad.append(rid)
+                    continue
+                live[rid] = values
+        # Keep one OID per live RID (lowest OID wins on corrupt duplicates).
+        rid_to_oid: dict[RID, int] = {}
+        for oid in sorted(entries):
+            rid = entries[oid]
+            if rid in live and rid not in rid_to_oid:
+                rid_to_oid[rid] = oid
+        pruned = len(entries) - len(rid_to_oid)
+        salvage = bad + [rid for rid in live if rid not in rid_to_oid]
+        for rid in salvage:
+            self.heap.salvage_delete(rid)
+        # Fresh OID index from the surviving mapping.
+        try:
+            self.oid_index.drop()
+        except ReproError:
+            pass  # corrupt tree: abandon its pages rather than fail repair
+        self.oid_index = BTree(self.pool, unique=True)
+        for rid, oid in rid_to_oid.items():
+            self.oid_index.insert(encode_int(oid), pack_rid(rid))
+        if rid_to_oid:
+            self._next_oid = max(self._next_oid, max(rid_to_oid.values()) + 1)
+        # Secondary indexes are derived: rebuild from the kept rows.
+        for col_name in list(self.secondary_indexes):
+            try:
+                self.secondary_indexes[col_name].drop()
+            except ReproError:
+                pass
+            index = BTree(self.pool)
+            ctype = self.schema.column(col_name).type
+            pos = self.schema.index_of(col_name)
+            for rid, oid in rid_to_oid.items():
+                index.insert(encode_key(live[rid][pos], ctype), encode_int(oid))
+            self.secondary_indexes[col_name] = index
+        self.heap.recount()
+        return {
+            "kept": len(rid_to_oid),
+            "pruned": pruned,
+            "salvaged": len(salvage),
+        }
 
     # -- secondary indexes -------------------------------------------------------
 

@@ -38,6 +38,8 @@ Commands:
   \\set <option> <value>    set a PlannerOptions field
   \\check                   run the full integrity audit (checksums, heap
                            accounting, B-Tree invariants, cross-structure)
+  \\repair                  self-heal: quarantine corrupt pages, rebuild
+                           derived structures, re-audit for convergence
   \\help                    this text
   \\quit                    exit\
 """
@@ -136,6 +138,8 @@ def _execute_command(db: Database, command: str) -> str:
         return "\n".join(lines)
     if name == "check":
         return str(db.check_integrity())
+    if name == "repair":
+        return str(db.repair())
     if name == "set":
         if len(args) != 2:
             return "usage: \\set <option> <value>"
@@ -172,14 +176,86 @@ def check_image(path: str) -> int:
     return 0 if report.ok else 1
 
 
+def recover_image(image: str, wal_path: str, out: str | None = None) -> int:
+    """``python -m repro recover <image> <wal> [out]``: crash recovery.
+
+    Loads the checkpoint image (pass ``-`` for a database that never
+    checkpointed), replays the WAL file's durable tail onto it (torn
+    tails are truncated, never replayed), audits the result, and — when a
+    target path exists — checkpoints the recovered database back out
+    (``out`` defaults to the image path).
+
+    Exit status: 0 on a clean recovery, 1 when the post-replay audit
+    still reports violations (``repair`` is the next step), 2 when the
+    image or WAL file cannot be read at all.
+    """
+    from repro.errors import CorruptImageError, WALError
+    from repro.wal.device import FileWALDevice
+
+    try:
+        device = FileWALDevice(wal_path)
+    except (WALError, OSError) as exc:
+        print(f"error: {exc}")
+        return 2
+    try:
+        db, report = Database.recover(
+            None if image == "-" else image, device
+        )
+    except (CorruptImageError, WALError, OSError) as exc:
+        print(f"error: {exc}")
+        return 2
+    print(report)
+    audit = db.check_integrity()
+    print(audit)
+    target = out if out is not None else (None if image == "-" else image)
+    if target is not None:
+        db.save(target)
+    return 0 if audit.ok else 1
+
+
+def repair_image(image: str, out: str | None = None) -> int:
+    """``python -m repro repair <image> [out]``: self-healing repair.
+
+    Loads the image, runs :meth:`Database.repair` (salvage corrupt pages,
+    rebuild every derived structure from the heaps, re-audit), prints the
+    repair report, and saves the repaired database (``out`` defaults to
+    the image path).
+
+    Exit status: 0 when repair converged (or the database was already
+    clean), 1 when violations remain after repair, 2 when the image
+    cannot be loaded.
+    """
+    from repro.errors import CorruptImageError
+
+    try:
+        db = Database.load(image)
+    except (CorruptImageError, OSError) as exc:
+        print(f"error: {exc}")
+        return 2
+    report = db.repair()
+    print(report)
+    db.save(out if out is not None else image)
+    return 0 if report.converged else 1
+
+
 def main(argv: list[str] | None = None) -> int:
-    """Entry point: ``repro check <image>`` or the interactive REPL."""
+    """Entry point: ``repro check|recover|repair …`` or the REPL."""
     argv = sys.argv[1:] if argv is None else argv
     if argv and argv[0] == "check":
         if len(argv) != 2:
             print("usage: python -m repro check <image>")
             return 2
         return check_image(argv[1])
+    if argv and argv[0] == "recover":
+        if len(argv) not in (3, 4):
+            print("usage: python -m repro recover <image|-> <wal> [out]")
+            return 2
+        return recover_image(argv[1], argv[2], argv[3] if len(argv) == 4 else None)
+    if argv and argv[0] == "repair":
+        if len(argv) not in (2, 3):
+            print("usage: python -m repro repair <image> [out]")
+            return 2
+        return repair_image(argv[1], argv[2] if len(argv) == 3 else None)
     print("InsightNotes+ shell — \\help for commands, \\demo to load data")
     db = Database()
     while True:

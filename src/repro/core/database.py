@@ -14,11 +14,13 @@ the summary-aware planner — and exposes the end-user surface:
 
 from __future__ import annotations
 
+import functools
 import os
 import pickle
 import struct
 import time
 import zlib
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -60,6 +62,9 @@ from repro.storage.buffer import BufferPool
 from repro.storage.disk import DiskManager, IOStats
 from repro.storage.record import ValueType
 from repro.summaries.maintenance import SummaryManager
+from repro.wal.device import MemoryWALDevice
+from repro.wal.record import WALRecordType
+from repro.wal.writer import WALWriter
 
 _TYPE_KEYWORDS = {
     "int": ValueType.INT,
@@ -67,6 +72,30 @@ _TYPE_KEYWORDS = {
     "text": ValueType.TEXT,
     "bool": ValueType.BOOL,
 }
+
+
+def _logged_ddl(fn):
+    """Wrap a DDL method so top-level calls append a DDL redo record.
+
+    The record carries the method name plus its (picklable) arguments;
+    recovery replays it by re-invoking the method on the restored
+    database. Nested calls (e.g. ``link_summary_instance`` building its
+    index through ``create_summary_index``) log nothing — the outermost
+    statement's record re-creates the whole effect on replay.
+    """
+
+    @functools.wraps(fn)
+    def wrapper(self, *args, **kwargs):
+        with self._wal_statement() as log:
+            if log:
+                self._wal_append(
+                    WALRecordType.DDL,
+                    {"method": fn.__name__, "args": list(args),
+                     "kwargs": dict(kwargs)},
+                )
+            return fn(self, *args, **kwargs)
+
+    return wrapper
 
 
 @dataclass
@@ -126,6 +155,125 @@ class Database:
         self.normalized_replicas: dict[tuple[str, str], NormalizedSnippetReplica] = {}
         self.keyword_indexes: dict[tuple[str, str], TrigramKeywordIndex] = {}
         self.options = options or PlannerOptions()
+        #: write-ahead log writer; None until :meth:`attach_wal`.
+        self.wal: WALWriter | None = None
+        #: LSN stamped into the last checkpoint image (v3 header).
+        self.checkpoint_lsn = 0
+        #: log offset up to which records are folded into this state
+        #: (recovery's idempotency watermark).
+        self._applied_lsn = 0
+        #: statement nesting depth — only depth-0 mutations emit records.
+        self._wal_depth = 0
+        #: True while recovery re-applies records (suppresses re-logging).
+        self._wal_replaying = False
+        #: monotonically increasing statement id carried by WAL records.
+        self._stmt_counter = 0
+
+    # -- write-ahead logging ---------------------------------------------------------
+
+    def attach_wal(self, device=None, plan=None) -> WALWriter:
+        """Enable write-ahead logging.
+
+        ``device`` defaults to a fresh in-memory log based at the current
+        checkpoint LSN; pass a :class:`~repro.faults.plan.FaultPlan` to
+        schedule crash points inside the append/fsync path. The buffer
+        pool starts enforcing log-before-data immediately.
+        """
+        if device is None:
+            device = MemoryWALDevice(
+                base_lsn=self.checkpoint_lsn, plan=plan, metrics=self.metrics
+            )
+        self.wal = WALWriter(device, metrics=self.metrics)
+        self.pool.wal = self.wal
+        return self.wal
+
+    def detach_wal(self) -> None:
+        """Stop logging; un-synced bytes stay pending on the device."""
+        self.wal = None
+        self.pool.wal = None
+
+    @contextmanager
+    def _wal_statement(self):
+        """Scope of one top-level mutating statement.
+
+        Yields True when this frame should emit a WAL record (logging is
+        on, not replaying, and no outer statement is already logging). On
+        successful completion the log is synced, so a statement is only
+        ever acknowledged after its record is durable; on failure the sync
+        is skipped — the un-synced record either vanishes with the crash
+        or is replayed, fails the same way, and is skipped by recovery.
+        """
+        active = (
+            self.wal is not None
+            and not self._wal_replaying
+            and self._wal_depth == 0
+        )
+        self._wal_depth += 1
+        try:
+            yield active
+            if active:
+                self.wal.sync()
+        finally:
+            self._wal_depth -= 1
+
+    def _wal_append(self, rtype: int, payload: dict) -> int:
+        self._stmt_counter += 1
+        return self.wal.append(rtype, payload, stmt_id=self._stmt_counter)
+
+    @classmethod
+    def recover(cls, path, device, verify: bool = False):
+        """Crash recovery: load the checkpoint image at ``path`` (None for
+        a database that never checkpointed) and replay ``device``'s durable
+        WAL tail onto it.
+
+        Torn tails are truncated from the device, never replayed. Returns
+        ``(db, report)``; the recovered database has the device re-attached
+        so it continues logging from the recovered position.
+        ``verify=True`` additionally runs :meth:`check_integrity` and
+        raises on any violation.
+        """
+        from repro.wal.recovery import replay
+
+        db = cls.load(path) if path is not None else cls()
+        report = replay(db, device)
+        db.attach_wal(device)
+        if verify:
+            db.check_integrity(raise_on_error=True)
+        return db, report
+
+    def repair(self):
+        """Self-heal: quarantine CRC-failing heap pages into a salvage
+        report, rebuild every *derived* structure (summary B-Trees and
+        backward pointers, keyword indexes, baseline/normalized replicas,
+        secondary indexes, statistics) from the authoritative heaps, and
+        prove convergence with a second integrity check.
+
+        Returns a :class:`~repro.core.repair.RepairReport`.
+        """
+        from repro.core.repair import RepairManager
+
+        return RepairManager(self).run()
+
+    # -- pickling --------------------------------------------------------------------
+
+    def __getstate__(self) -> dict:
+        # The WAL belongs to the running process, not the image: a loaded
+        # database starts detached (recover()/attach_wal re-attach).
+        state = self.__dict__.copy()
+        state["wal"] = None
+        state["_wal_depth"] = 0
+        state["_wal_replaying"] = False
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        # Images written before the WAL era lack the new attributes.
+        state.setdefault("wal", None)
+        state.setdefault("checkpoint_lsn", 0)
+        state.setdefault("_applied_lsn", 0)
+        state.setdefault("_wal_depth", 0)
+        state.setdefault("_wal_replaying", False)
+        state.setdefault("_stmt_counter", 0)
+        self.__dict__.update(state)
 
     # -- planner --------------------------------------------------------------------
 
@@ -144,23 +292,27 @@ class Database:
 
     # -- DDL ------------------------------------------------------------------------
 
+    @_logged_ddl
     def create_table(self, name: str, columns: list[Column] | Schema):
         """Create a user relation."""
         schema = columns if isinstance(columns, Schema) else Schema(list(columns))
         return self.catalog.create_table(name, schema)
 
+    @_logged_ddl
     def create_index(self, table: str, column: str) -> None:
         """Standard B-Tree on a data column."""
         self.catalog.table(table).create_index(column)
 
     # -- summary instances -------------------------------------------------------------
 
+    @_logged_ddl
     def create_classifier_instance(
         self, name: str, labels: list[str],
         seed_examples: list[tuple[str, str]] | None = None,
     ):
         return self.manager.create_classifier_instance(name, labels, seed_examples)
 
+    @_logged_ddl
     def create_hierarchical_classifier_instance(
         self, name: str, tree_spec: dict,
         seed_examples: list[tuple[str, str]] | None = None,
@@ -172,13 +324,16 @@ class Database:
             name, tree_spec, seed_examples
         )
 
+    @_logged_ddl
     def create_snippet_instance(self, name: str, min_chars: int = 1000,
                                 max_chars: int = 400):
         return self.manager.create_snippet_instance(name, min_chars, max_chars)
 
+    @_logged_ddl
     def create_cluster_instance(self, name: str, **kwargs):
         return self.manager.create_cluster_instance(name, **kwargs)
 
+    @_logged_ddl
     def link_summary_instance(
         self, table: str, instance: str, indexable: bool = False
     ) -> None:
@@ -192,12 +347,14 @@ class Database:
         if indexable:
             self.create_summary_index(table, instance)
 
+    @_logged_ddl
     def unlink_summary_instance(self, table: str, instance: str) -> None:
         """``ALTER TABLE <table> DROP <instance>``."""
         self.manager.unlink(table, instance)
         self.summary_indexes.pop((table.lower(), instance), None)
         self.baseline_indexes.pop((table.lower(), instance), None)
 
+    @_logged_ddl
     def create_summary_index(
         self, table: str, instance: str, backward_pointers: bool = True
     ) -> SummaryBTreeIndex:
@@ -216,6 +373,7 @@ class Database:
         self.summary_indexes[key] = index
         return index
 
+    @_logged_ddl
     def create_baseline_index(
         self, table: str, instance: str
     ) -> BaselineClassifierIndex:
@@ -233,6 +391,7 @@ class Database:
         self.baseline_indexes[key] = index
         return index
 
+    @_logged_ddl
     def create_keyword_index(self, table: str, instance: str
                              ) -> TrigramKeywordIndex:
         """Build a trigram keyword index over a snippet instance's text.
@@ -249,6 +408,7 @@ class Database:
         self.keyword_indexes[key] = index
         return index
 
+    @_logged_ddl
     def create_normalized_replicas(self, table: str) -> list:
         """Normalize the non-classifier summary objects of ``table`` —
         the rest of the Baseline scheme's replica, needed so normalized
@@ -271,6 +431,7 @@ class Database:
                 built.append(replica)
         return built
 
+    @_logged_ddl
     def drop_summary_index(self, table: str, instance: str) -> None:
         index = self.summary_indexes.pop((table.lower(), instance), None)
         if index is not None:
@@ -285,11 +446,28 @@ class Database:
     # -- DML --------------------------------------------------------------------------------
 
     def insert(self, table: str, row: dict | list) -> int:
-        return self.catalog.table(table).insert(row)
+        tbl = self.catalog.table(table)
+        with self._wal_statement() as log:
+            if log:
+                # Canonicalize before logging: the record carries the
+                # positional values and the OID the insert will assign, so
+                # replay reproduces the tuple under its original identity.
+                values = tbl.canonical_row(row)
+                self._wal_append(
+                    WALRecordType.INSERT,
+                    {"table": tbl.name, "oid": tbl.next_oid, "values": values},
+                )
+                return tbl.insert(values)
+            return tbl.insert(row)
 
     def delete_tuple(self, table: str, oid: int) -> None:
-        self.manager.on_tuple_delete(table, oid)
-        self.catalog.table(table).delete(oid)
+        with self._wal_statement() as log:
+            if log:
+                self._wal_append(
+                    WALRecordType.DELETE, {"table": table, "oid": oid}
+                )
+            self.manager.on_tuple_delete(table, oid)
+            self.catalog.table(table).delete(oid)
 
     # -- annotations ---------------------------------------------------------------------------
 
@@ -311,10 +489,20 @@ class Database:
             if table is None or oid is None:
                 raise SummaryError("add_annotation needs targets or table+oid")
             targets = [AnnotationTarget(table, oid, tuple(columns))]
-        return self.manager.add_annotation(text, targets)
+        with self._wal_statement() as log:
+            if log:
+                self._wal_append(
+                    WALRecordType.ANN_ADD,
+                    {"text": text, "targets": list(targets),
+                     "ann_id": self.manager.annotations.next_id},
+                )
+            return self.manager.add_annotation(text, targets)
 
     def delete_annotation(self, ann_id: int) -> None:
-        self.manager.delete_annotation(ann_id)
+        with self._wal_statement() as log:
+            if log:
+                self._wal_append(WALRecordType.ANN_DEL, {"ann_id": ann_id})
+            self.manager.delete_annotation(ann_id)
 
     def zoom_in(self, table: str, oid: int, instance: str,
                 selector: str | int | None = None) -> list[str]:
@@ -341,23 +529,36 @@ class Database:
     # -- persistence ---------------------------------------------------------------------------
 
     _IMAGE_MAGIC = b"INSIGHTNOTES-IMAGE"
-    _IMAGE_VERSION = 2
+    _IMAGE_VERSION = 3
     #: v2 header after the magic: version:u16 | payload_len:u64 | crc32:u32.
-    _IMAGE_HEADER = struct.Struct(">HQI")
+    _IMAGE_HEADER_V2 = struct.Struct(">HQI")
+    #: v3 appends the checkpoint LSN: … | checkpoint_lsn:u64.
+    _IMAGE_HEADER = struct.Struct(">HQIQ")
 
     def save(self, path: str | Path) -> None:
-        """Write the whole database — pages, catalog, summary instances,
-        indexes, statistics — as a single-file image.
+        """Checkpoint the whole database — pages, catalog, summary
+        instances, indexes, statistics — as a single-file image.
 
         The image carries the payload length and a CRC32 so a truncated or
         corrupted file is detected at :meth:`load` time, and it is written
         to a temporary sibling then atomically renamed into place: a crash
-        mid-save leaves the previous image intact, never a torn one.
+        mid-save leaves the previous image intact, never a torn one — and
+        a failed write unlinks the temp sibling instead of leaking it.
+
+        With a WAL attached this is the checkpoint protocol: flush data
+        pages (WAL first — log-before-data), sync the log, stamp the
+        checkpoint LSN into the v3 header, and truncate the log only once
+        the rename has landed. A crash between rename and truncation is
+        safe: replay skips records below the checkpoint LSN.
 
         Registered UDFs are *not* persisted (arbitrary callables don't
         serialize portably); re-register them after :meth:`load`.
         """
         self.pool.flush_all()
+        if self.wal is not None:
+            self.wal.sync()
+            self.checkpoint_lsn = self.wal.next_lsn
+            self._applied_lsn = max(self._applied_lsn, self.checkpoint_lsn)
         udfs = self.manager.udfs
         self.manager.udfs = {}
         try:
@@ -365,12 +566,19 @@ class Database:
         finally:
             self.manager.udfs = udfs
         header = self._IMAGE_MAGIC + self._IMAGE_HEADER.pack(
-            self._IMAGE_VERSION, len(payload), zlib.crc32(payload) & 0xFFFFFFFF
+            self._IMAGE_VERSION, len(payload),
+            zlib.crc32(payload) & 0xFFFFFFFF, self.checkpoint_lsn,
         )
         path = Path(path)
         tmp = path.with_name(path.name + ".tmp")
-        tmp.write_bytes(header + payload)
-        os.replace(tmp, path)
+        try:
+            tmp.write_bytes(header + payload)
+            os.replace(tmp, path)
+        except BaseException:
+            tmp.unlink(missing_ok=True)
+            raise
+        if self.wal is not None:
+            self.wal.truncate(self.checkpoint_lsn)
 
     @classmethod
     def load(cls, path: str | Path, verify: bool = False) -> "Database":
@@ -387,18 +595,30 @@ class Database:
         if not data.startswith(cls._IMAGE_MAGIC):
             raise CorruptImageError(f"{path!s} is not an InsightNotes image")
         offset = len(cls._IMAGE_MAGIC)
-        if len(data) < offset + cls._IMAGE_HEADER.size:
+        if len(data) < offset + 2:
             raise CorruptImageError(
                 f"{path!s}: image header truncated "
                 f"({len(data) - offset} of {cls._IMAGE_HEADER.size} bytes)"
             )
-        version, payload_len, crc = cls._IMAGE_HEADER.unpack_from(data, offset)
-        if version != cls._IMAGE_VERSION:
+        (version,) = struct.unpack_from(">H", data, offset)
+        if version == 2:
+            header_struct = cls._IMAGE_HEADER_V2  # pre-WAL images
+        elif version == cls._IMAGE_VERSION:
+            header_struct = cls._IMAGE_HEADER
+        else:
             raise CorruptImageError(
                 f"image version {version} unsupported "
                 f"(engine writes v{cls._IMAGE_VERSION})"
             )
-        payload = data[offset + cls._IMAGE_HEADER.size:]
+        if len(data) < offset + header_struct.size:
+            raise CorruptImageError(
+                f"{path!s}: image header truncated "
+                f"({len(data) - offset} of {header_struct.size} bytes)"
+            )
+        fields = header_struct.unpack_from(data, offset)
+        payload_len, crc = fields[1], fields[2]
+        checkpoint_lsn = fields[3] if version >= 3 else 0
+        payload = data[offset + header_struct.size:]
         if len(payload) != payload_len:
             raise CorruptImageError(
                 f"{path!s}: payload truncated "
@@ -414,6 +634,9 @@ class Database:
             ) from exc
         if not isinstance(db, cls):
             raise CorruptImageError(f"{path!s} does not contain a Database")
+        # The header's checkpoint LSN is authoritative (v2 images carry 0).
+        db.checkpoint_lsn = checkpoint_lsn
+        db._applied_lsn = max(db._applied_lsn, checkpoint_lsn)
         if verify:
             db.check_integrity(raise_on_error=True)
         return db
@@ -508,12 +731,12 @@ class Database:
             )
             return None
         if isinstance(stmt, InsertStmt):
-            table = self.catalog.table(stmt.table)
+            # Route through self.insert so each row emits a WAL record.
             for row in stmt.rows:
                 if stmt.columns is not None:
-                    table.insert(dict(zip(stmt.columns, row)))
+                    self.insert(stmt.table, dict(zip(stmt.columns, row)))
                 else:
-                    table.insert(row)
+                    self.insert(stmt.table, row)
             return None
         if isinstance(stmt, DeleteStmt):
             return self._execute_delete(stmt)
@@ -567,7 +790,15 @@ class Database:
             }
             updates.append((oid, assigned))
         for oid, assigned in updates:
-            table.update(oid, assigned)
+            with self._wal_statement() as log:
+                if log:
+                    # Post-evaluation values: replay must not re-evaluate
+                    # the assignment expressions against replayed state.
+                    self._wal_append(
+                        WALRecordType.UPDATE,
+                        {"table": stmt.table, "oid": oid, "values": assigned},
+                    )
+                table.update(oid, assigned)
         if updates:
             self.statistics.mark_stale(stmt.table)
         return len(updates)

@@ -51,6 +51,11 @@ class IntegrityError(ReproError):
     structural or cross-structure invariant is violated."""
 
 
+class WALError(StorageError):
+    """Raised for write-ahead-log failures: bad record types, appends to a
+    truncated region, or a writer driven against a dead log device."""
+
+
 class IndexError_(ReproError):
     """Raised for B-Tree / Summary-BTree failures.
 

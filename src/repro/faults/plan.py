@@ -35,11 +35,16 @@ class FaultKind:
     ALL = (FAIL_STOP, TRANSIENT, TORN_WRITE, BIT_FLIP)
 
 
+#: Operations a fault can target: page reads/writes on the disk manager,
+#: and record appends / fsyncs on a WAL device (``repro.wal.device``).
+FAULT_OPS = ("read", "write", "append", "sync")
+
+
 @dataclass(frozen=True)
 class Fault:
     """One scheduled fault.
 
-    ``op`` is ``"read"`` or ``"write"``; ``at`` is the 0-based operation
+    ``op`` is one of :data:`FAULT_OPS`; ``at`` is the 0-based operation
     index at which the fault fires; a non-None ``period`` makes it recur
     every ``period`` operations after ``at``.
     """
@@ -59,10 +64,16 @@ class Fault:
     def __post_init__(self) -> None:
         if self.kind not in FaultKind.ALL:
             raise StorageError(f"unknown fault kind {self.kind!r}")
-        if self.op not in ("read", "write"):
-            raise StorageError(f"fault op must be 'read' or 'write', not {self.op!r}")
-        if self.kind == FaultKind.TORN_WRITE and self.op != "write":
-            raise StorageError("torn faults apply to writes only")
+        if self.op not in FAULT_OPS:
+            raise StorageError(
+                f"fault op must be one of {FAULT_OPS}, not {self.op!r}"
+            )
+        if self.kind == FaultKind.TORN_WRITE and self.op not in ("write", "sync"):
+            raise StorageError("torn faults apply to writes and syncs only")
+        if self.kind == FaultKind.BIT_FLIP and self.op in ("append", "sync"):
+            raise StorageError(
+                "bit flips target pages; frame the WAL fault as a torn sync"
+            )
         if self.at < 0 or (self.period is not None and self.period < 1):
             raise StorageError(f"bad fault schedule: at={self.at} period={self.period}")
 
@@ -119,6 +130,27 @@ class FaultPlan:
     def bit_flip_read(self, at: int, bits: int = 1) -> "FaultPlan":
         """Corrupt the copy returned by the ``at``-th read (transient rot)."""
         return self.schedule(Fault(FaultKind.BIT_FLIP, "read", at, bits=bits))
+
+    # -- WAL-device faults (repro.wal.device) --------------------------------
+
+    def fail_append(self, at: int) -> "FaultPlan":
+        """Fail-stop on the ``at``-th WAL record append (0-based)."""
+        return self.schedule(Fault(FaultKind.FAIL_STOP, "append", at))
+
+    def fail_sync(self, at: int) -> "FaultPlan":
+        """Fail-stop on the ``at``-th WAL fsync: nothing pending lands."""
+        return self.schedule(Fault(FaultKind.FAIL_STOP, "sync", at))
+
+    def transient_sync(self, at: int, period: int | None = None) -> "FaultPlan":
+        """Transient error on the ``at``-th fsync; a retry may succeed."""
+        return self.schedule(Fault(FaultKind.TRANSIENT, "sync", at, period))
+
+    def torn_sync(self, at: int, torn_bytes: int | None = None) -> "FaultPlan":
+        """Tear the ``at``-th fsync: a prefix of the pending bytes becomes
+        durable, then the device fail-stops (power loss mid-fsync)."""
+        return self.schedule(
+            Fault(FaultKind.TORN_WRITE, "sync", at, torn_bytes=torn_bytes)
+        )
 
     # -- matching -----------------------------------------------------------
 

@@ -25,6 +25,7 @@ from typing import Iterator
 
 from repro.catalog.schema import Column, Schema
 from repro.catalog.table import Table
+from repro.errors import ReproError
 from repro.index.itemize import DEFAULT_WIDTH, itemize, max_count
 from repro.storage.buffer import BufferPool
 from repro.storage.record import ValueType
@@ -127,6 +128,25 @@ class BaselineClassifierIndex:
                 self.on_summary_insert(oid, obj)
                 inserted += len(obj.rep())
         return inserted
+
+    def rebuild(self, storage) -> int:
+        """Discard the normalized replica and re-derive it from the
+        de-normalized storage (repair path). Returns rows inserted."""
+        for tree in [self.norm.oid_index,
+                     *self.norm.secondary_indexes.values()]:
+            try:
+                tree.drop()
+            except ReproError:
+                pass  # corrupt tree: abandon its pages rather than fail
+        try:
+            self.norm.heap.drop()
+        except ReproError:
+            pass
+        pool = self.norm.pool
+        self.norm = Table(self.norm.name, _NORM_SCHEMA, pool)
+        self.norm.create_index("derived")
+        self.norm.create_index("data_oid")
+        return self.bulk_build(storage)
 
     # -- querying ----------------------------------------------------------------------------
 

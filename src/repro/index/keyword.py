@@ -24,6 +24,7 @@ from __future__ import annotations
 
 from repro.btree.tree import BTree
 from repro.catalog.keys import decode_int, encode_int
+from repro.errors import ReproError
 from repro.storage.buffer import BufferPool
 from repro.summaries.objects import SnippetObject, SummaryObject
 
@@ -93,6 +94,19 @@ class TrigramKeywordIndex:
                 self._insert_rows(oid, text)
                 written += 1
         return written
+
+    def rebuild(self, storage) -> int:
+        """Discard both trees and re-derive them from the de-normalized
+        storage (repair path). Returns postings written."""
+        pool = self.postings.pool
+        for tree in (self.postings, self.reverse):
+            try:
+                tree.drop()
+            except ReproError:
+                pass  # corrupt tree: abandon its pages rather than fail
+        self.postings = BTree(pool)
+        self.reverse = BTree(pool)
+        return self.bulk_build(storage)
 
     # -- querying ----------------------------------------------------------------
 

@@ -30,6 +30,7 @@ from __future__ import annotations
 
 from repro.catalog.schema import Column, Schema
 from repro.catalog.table import Table
+from repro.errors import ReproError
 from repro.storage.buffer import BufferPool
 from repro.storage.record import ValueType
 from repro.summaries.objects import SnippetObject, SummaryObject
@@ -117,6 +118,27 @@ class NormalizedSnippetReplica:
                 self._write_rows(oid, obj)
                 written += len(obj.snippets) + len(obj.ann_targets)
         return written
+
+    def rebuild(self, storage) -> int:
+        """Discard both normalized tables and re-derive them from the
+        de-normalized storage (repair path). Returns rows written."""
+        pool = self.norm.pool
+        for table in (self.norm, self.members):
+            for tree in [table.oid_index, *table.secondary_indexes.values()]:
+                try:
+                    tree.drop()
+                except ReproError:
+                    pass  # corrupt tree: abandon its pages rather than fail
+            try:
+                table.heap.drop()
+            except ReproError:
+                pass
+        prefix = f"{self.table_name}_{self.instance_name}"
+        self.norm = Table(f"{prefix}_snip_norm", _SNIP_SCHEMA, pool)
+        self.norm.create_index("data_oid")
+        self.members = Table(f"{prefix}_member_norm", _MEMBER_SCHEMA, pool)
+        self.members.create_index("data_oid")
+        return self.bulk_build(storage)
 
     # -- reconstruction (the Figure 12 propagation path) -----------------------------
 

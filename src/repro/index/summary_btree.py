@@ -28,7 +28,7 @@ from typing import Iterator, NamedTuple
 
 from repro.btree import BTree
 from repro.catalog.table import Table
-from repro.errors import IndexError_
+from repro.errors import IndexError_, ReproError
 from repro.index.itemize import (
     DEFAULT_WIDTH,
     itemize,
@@ -165,6 +165,23 @@ class SummaryBTreeIndex:
                 self.on_summary_insert(oid, obj)
                 inserted += len(obj.rep())
         return inserted
+
+    def rebuild(self) -> int:
+        """Discard the tree and re-derive it from the summary storage
+        (repair path). Backward pointers are re-resolved through
+        ``disk_tuple_loc()``, so a repaired OID index re-anchors every
+        leaf entry. Returns the number of keys inserted.
+
+        Unlike the width rebuilds of :meth:`_check_width` this does not
+        count toward ``rebuilds`` (that counter measures footnote 1's
+        automatic key widening, not healing).
+        """
+        try:
+            self.tree.drop()
+        except ReproError:
+            pass  # corrupt tree: abandon its pages rather than fail repair
+        self.tree = BTree(self.table.pool)
+        return self.bulk_build()
 
     # -- querying (§4.1.2 Summary-BTree Querying) ------------------------------------------
 

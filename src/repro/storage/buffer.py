@@ -9,6 +9,13 @@ Pages registered via :meth:`BufferPool.protect` (the heap files' slotted
 pages) are *checksummed*: their CRC32 header field is stamped on every
 write-back and verified on every miss read, so on-disk corruption raises
 :class:`~repro.errors.CorruptPageError` instead of being decoded.
+
+When a :class:`~repro.wal.writer.WALWriter` is attached (``pool.wal``),
+the pool enforces **log-before-data**: every dirtied page is stamped with
+the writer's current append position (its ``page_lsn``), and a dirty page
+whose LSN is beyond the flushed log tail is never written back — the pool
+forces a log flush through that LSN first, so no data page can reach disk
+describing a change whose log record could still be lost.
 """
 
 from __future__ import annotations
@@ -44,6 +51,52 @@ class BufferPool:
         #: page ids whose CRC32 header field is stamped/verified (slotted
         #: heap pages; B-Tree nodes and overflow chunks have no CRC field).
         self._protected: set[int] = set()
+        #: attached WAL writer (set by ``Database.attach_wal``); None = no
+        #: logging, write-backs need no ordering.
+        self.wal = None
+        #: dirty-page LSNs: page id -> WAL append position when last dirtied.
+        self._page_lsns: dict[int, int] = {}
+
+    # -- WAL ordering ---------------------------------------------------------
+
+    def _stamp_lsn(self, page_id: int) -> None:
+        """Record the log position that must be durable before ``page_id``
+        may be written back (the writer's current append position upper-
+        bounds every record describing this page's pending changes)."""
+        if self.wal is not None:
+            self._page_lsns[page_id] = self.wal.next_lsn
+
+    def page_lsn(self, page_id: int) -> int | None:
+        """The LSN stamped on ``page_id`` when it was last dirtied."""
+        return self._page_lsns.get(page_id)
+
+    def _write_back(self, page_id: int, frame: _Frame) -> None:
+        """Write one dirty frame to disk, honouring log-before-data."""
+        if self.wal is not None:
+            lsn = self._page_lsns.get(page_id)
+            if lsn is not None and lsn > self.wal.flushed_lsn:
+                self.wal.flush(lsn)
+        if page_id in self._protected:
+            stamp_checksum(frame.data)
+        self.disk.write_page(page_id, frame.data)
+        frame.dirty = False
+        self._page_lsns.pop(page_id, None)
+
+    # -- pickling -------------------------------------------------------------
+
+    def __getstate__(self) -> dict:
+        # The WAL writer belongs to the crashed process, not the image:
+        # a loaded pool starts detached (Database.attach_wal re-attaches).
+        state = self.__dict__.copy()
+        state["wal"] = None
+        state["_page_lsns"] = {}
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        # Images written before the WAL era lack the new attributes.
+        state.setdefault("wal", None)
+        state.setdefault("_page_lsns", {})
+        self.__dict__.update(state)
 
     # -- checksums ------------------------------------------------------------
 
@@ -84,6 +137,7 @@ class BufferPool:
         self._make_room()
         page_id = self.disk.allocate_page()
         self._frames[page_id] = _Frame(bytearray(self.disk.page_size), dirty=True)
+        self._stamp_lsn(page_id)
         return page_id
 
     def get_page(self, page_id: int) -> bytearray:
@@ -114,6 +168,7 @@ class BufferPool:
         if frame is None:
             raise BufferPoolError(f"page {page_id} is not resident")
         frame.dirty = True
+        self._stamp_lsn(page_id)
 
     def put_page(self, page_id: int, data: bytearray) -> None:
         """Replace the cached contents of ``page_id`` and mark it dirty."""
@@ -128,6 +183,7 @@ class BufferPool:
             frame.data = data
             frame.dirty = True
             self._frames.move_to_end(page_id)
+        self._stamp_lsn(page_id)
 
     def free_page(self, page_id: int) -> None:
         """Drop ``page_id`` from the pool and deallocate it on disk.
@@ -143,6 +199,7 @@ class BufferPool:
             )
         self._frames.pop(page_id, None)
         self._protected.discard(page_id)
+        self._page_lsns.pop(page_id, None)
         self.disk.deallocate_page(page_id)
 
     # -- pinning -------------------------------------------------------------
@@ -162,15 +219,32 @@ class BufferPool:
 
     # -- flushing ------------------------------------------------------------
 
-    def flush_page(self, page_id: int) -> None:
+    def flush_page(self, page_id: int) -> bool:
+        """Write ``page_id`` back to disk if it is resident and dirty.
+
+        Contract (documented rather than inconsistent): flushing an
+        unknown or clean page is a **typed no-op** — the method returns
+        ``True`` when a write-back actually happened and ``False``
+        otherwise, never raising.  A no-op result is normal (the page was
+        evicted earlier, or was never dirtied), so callers that must know
+        whether I/O occurred check the return value instead of catching.
+        """
         frame = self._frames.get(page_id)
-        if frame is not None and frame.dirty:
-            if page_id in self._protected:
-                stamp_checksum(frame.data)
-            self.disk.write_page(page_id, frame.data)
-            frame.dirty = False
+        if frame is None or not frame.dirty:
+            return False
+        self._write_back(page_id, frame)
+        return True
 
     def flush_all(self) -> None:
+        """Write back every dirty frame.
+
+        The WAL is flushed *first* (one sync instead of one forced flush
+        per page): log-before-data then holds trivially for every frame,
+        since no dirty page can carry an LSN beyond the writer's current
+        append position.
+        """
+        if self.wal is not None:
+            self.wal.flush()
         for page_id in list(self._frames):
             self.flush_page(page_id)
 
@@ -192,13 +266,11 @@ class BufferPool:
                 raise BufferPoolError("all frames are pinned; cannot evict")
             # Write back *before* dropping the frame: if the disk write
             # fails, the dirty frame must stay resident (and dirty) or its
-            # contents would be silently lost.
+            # contents would be silently lost. _write_back enforces
+            # log-before-data for the evicted page.
             frame = self._frames[victim_id]
             if frame.dirty:
-                if victim_id in self._protected:
-                    stamp_checksum(frame.data)
-                self.disk.write_page(victim_id, frame.data)
-                frame.dirty = False
+                self._write_back(victim_id, frame)
             self._frames.pop(victim_id)
 
     @property

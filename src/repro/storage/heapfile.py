@@ -17,7 +17,12 @@ from __future__ import annotations
 import struct
 from typing import Iterator, NamedTuple
 
-from repro.errors import CorruptPageError, PageFullError, StorageError
+from repro.errors import (
+    CorruptPageError,
+    PageFullError,
+    ReproError,
+    StorageError,
+)
 from repro.storage.buffer import BufferPool
 from repro.storage.page import SlottedPage
 
@@ -208,6 +213,40 @@ class HeapFile:
             page = self._page(page_no)
             for slot, stored in page.records():
                 yield RID(page_no, slot), self._unwrap(stored)
+
+    # -- repair hooks -----------------------------------------------------------
+
+    def salvage_delete(self, rid: RID) -> None:
+        """Best-effort delete for the repair path.
+
+        A normal :meth:`delete` re-reads the stored record to release its
+        overflow chain; on a record too damaged to read (or whose stub now
+        points at garbage) that raises. Here the slot is tombstoned anyway
+        — losing an overflow chain beats keeping an undecodable record —
+        and a slot that cannot even be tombstoned is left for page
+        quarantine to deal with.
+        """
+        try:
+            self.delete(rid)
+        except ReproError:
+            try:
+                self._page(rid.page_no).delete(rid.slot)
+            except ReproError:
+                return
+            self._dirty(rid.page_no)
+            self._record_count -= 1
+
+    def recount(self) -> int:
+        """Re-derive the live-record counter from the pages themselves.
+
+        Page quarantine and salvage deletes can leave the cached counter
+        out of step with the slots; the slots are authoritative.
+        """
+        live = 0
+        for page_no in range(len(self.page_ids)):
+            live += self._page(page_no).live_count()
+        self._record_count = live
+        return live
 
     def drop(self) -> None:
         """Deallocate every page of the file (overflow chains included)."""

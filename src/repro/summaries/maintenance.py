@@ -217,13 +217,14 @@ class SummaryManager:
                 self._cell_annotated.add(target.table.lower())
 
     def add_annotation(
-        self, text: str, targets: list[AnnotationTarget]
+        self, text: str, targets: list[AnnotationTarget],
+        ann_id: int | None = None,
     ) -> Annotation:
         """Store a raw annotation and incrementally update every summary
-        object it affects."""
+        object it affects.  ``ann_id`` forces the assigned id (WAL replay)."""
         self._record_targets(targets)
         self.metrics.inc("maint.annotation_add")
-        annotation = self.annotations.create(text, targets)
+        annotation = self.annotations.create(text, targets, ann_id=ann_id)
         for table, oid in self._affected_tuples(annotation):
             self._apply_to_tuple(annotation, table, oid)
         return annotation

@@ -17,9 +17,10 @@ from typing import Iterator
 
 from repro.btree import BTree
 from repro.catalog.keys import decode_int, encode_int
-from repro.errors import RecordNotFoundError
+from repro.errors import RecordNotFoundError, ReproError
 from repro.storage.buffer import BufferPool
 from repro.storage.heapfile import HeapFile, RID
+from repro.storage.page import SlottedPage
 from repro.summaries.objects import SummaryObject
 
 
@@ -104,6 +105,49 @@ class SummaryStorage:
         self.oid_index.delete(
             encode_int(oid), struct.pack("<IH", rid.page_no, rid.slot)
         )
+
+    def rebuild_oid_index(self) -> dict[str, int]:
+        """Rebuild the OID index from the heap alone (repair path).
+
+        Unlike user tables, summary rows are *self-describing*: every
+        serialized object carries its ``tuple_id``, so the full OID → RID
+        mapping is recoverable from the heap. Rows that fail to decode, are
+        empty, or duplicate an already-seen OID (first row wins) are
+        salvage-deleted. Returns counters: ``kept``, ``salvaged``.
+        """
+        live: dict[int, RID] = {}
+        drop: list[RID] = []
+        for page_no in range(len(self.heap.page_ids)):
+            page = SlottedPage(
+                self.pool.get_page(self.heap.page_ids[page_no]),
+                page_size=self.pool.disk.page_size,
+            )
+            for slot, stored in page.records():
+                rid = RID(page_no, slot)
+                try:
+                    objects = self._decode(self.heap._unwrap(stored))
+                    oid = next(iter(objects.values())).tuple_id
+                except (ReproError, StopIteration, ValueError, KeyError,
+                        TypeError):
+                    drop.append(rid)
+                    continue
+                if oid in live:
+                    drop.append(rid)
+                    continue
+                live[oid] = rid
+        for rid in drop:
+            self.heap.salvage_delete(rid)
+        try:
+            self.oid_index.drop()
+        except ReproError:
+            pass  # corrupt tree: abandon its pages rather than fail repair
+        self.oid_index = BTree(self.pool, unique=True)
+        for oid, rid in live.items():
+            self.oid_index.insert(
+                encode_int(oid), struct.pack("<IH", rid.page_no, rid.slot)
+            )
+        self.heap.recount()
+        return {"kept": len(live), "salvaged": len(drop)}
 
     def scan(self) -> Iterator[tuple[int, dict[str, SummaryObject]]]:
         """Yield ``(oid, objects)`` for every annotated tuple."""

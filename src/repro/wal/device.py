@@ -1,0 +1,266 @@
+"""Append-only log devices.
+
+A WAL device models the durability boundary underneath the
+:class:`~repro.wal.writer.WALWriter`:
+
+* :meth:`append` buffers bytes the way ``write(2)`` hands them to the OS —
+  they are *not* durable yet and are lost on a crash;
+* :meth:`sync` is ``fsync(2)``: every appended byte becomes durable;
+* :meth:`truncate` discards the whole log and re-bases it at a new LSN
+  (the checkpoint protocol — offsets are never reused);
+* :meth:`durable` returns exactly the bytes that would survive a crash.
+
+:class:`MemoryWALDevice` is the simulated device the test suites crash at
+will; it consults a :class:`~repro.faults.plan.FaultPlan` on every append
+and sync (ops ``"append"`` / ``"sync"``), mirroring how
+:class:`~repro.faults.disk.FaultyDiskManager` schedules page faults:
+
+* **fail-stop** on append: the record never reaches the OS buffer and the
+  device is dead;
+* **fail-stop** on sync: nothing pending lands, device dead;
+* **torn sync**: a seeded prefix of the pending bytes becomes durable,
+  then the device dies — the classic torn log tail;
+* **transient** on either: the operation fails once, retries may succeed.
+
+:class:`FileWALDevice` backs the log with a real file (the CLI's
+``recover`` verb); it carries a small header recording the base LSN so a
+re-opened log knows where its first byte sits in the logical stream.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+from pathlib import Path
+
+from repro.errors import InjectedFaultError, TransientIOError, WALError
+from repro.faults.plan import Fault, FaultKind, FaultPlan
+from repro.obs.metrics import MetricsRegistry
+
+
+class MemoryWALDevice:
+    """An in-memory append-only log with explicit durability and faults."""
+
+    def __init__(
+        self,
+        base_lsn: int = 0,
+        plan: FaultPlan | None = None,
+        metrics: MetricsRegistry | None = None,
+    ):
+        self.base_lsn = base_lsn
+        self.plan = plan if plan is not None else FaultPlan()
+        self.metrics = metrics
+        self._durable = bytearray()
+        self._pending = bytearray()
+        #: Operation counters the fault schedule indexes against (0-based).
+        self.append_ops = 0
+        self.sync_ops = 0
+        #: True once a fail-stop fault fired; the device never recovers.
+        self.dead = False
+        #: Every fault fired, as ``(kind, op, op_index)``.
+        self.injected: list[tuple[str, str, int]] = []
+
+    @classmethod
+    def from_durable(cls, data: bytes, base_lsn: int) -> "MemoryWALDevice":
+        """Re-open a crashed device over its surviving durable bytes."""
+        device = cls(base_lsn=base_lsn)
+        device._durable = bytearray(data)
+        return device
+
+    # -- bookkeeping --------------------------------------------------------
+
+    def _record(self, fault: Fault, op: str, index: int) -> None:
+        self.injected.append((fault.kind, op, index))
+        if self.metrics is not None:
+            self.metrics.inc("faults.injected")
+            self.metrics.inc(f"faults.injected.{fault.kind}")
+
+    def _require_alive(self) -> None:
+        if self.dead:
+            raise InjectedFaultError("WAL device has fail-stopped")
+
+    # -- sizes --------------------------------------------------------------
+
+    @property
+    def durable_len(self) -> int:
+        return len(self._durable)
+
+    @property
+    def total_len(self) -> int:
+        """Durable plus pending bytes (the writer's append position)."""
+        return len(self._durable) + len(self._pending)
+
+    @property
+    def pending_len(self) -> int:
+        return len(self._pending)
+
+    # -- operations ---------------------------------------------------------
+
+    def append(self, data: bytes) -> None:
+        """Buffer ``data`` at the log tail (not durable until :meth:`sync`)."""
+        self._require_alive()
+        index = self.append_ops
+        self.append_ops += 1
+        fault = self.plan.match("append", index)
+        if fault is not None:
+            self._record(fault, "append", index)
+            if fault.kind == FaultKind.FAIL_STOP:
+                self.dead = True
+                raise InjectedFaultError(
+                    f"injected fail-stop on WAL append #{index}"
+                )
+            if fault.kind == FaultKind.TRANSIENT:
+                raise TransientIOError(
+                    f"injected transient error on WAL append #{index}"
+                )
+        self._pending.extend(data)
+
+    def sync(self) -> None:
+        """Make every pending byte durable (fsync)."""
+        self._require_alive()
+        index = self.sync_ops
+        self.sync_ops += 1
+        fault = self.plan.match("sync", index)
+        if fault is not None:
+            self._record(fault, "sync", index)
+            if fault.kind == FaultKind.FAIL_STOP:
+                self.dead = True
+                raise InjectedFaultError(
+                    f"injected fail-stop on WAL sync #{index}"
+                )
+            if fault.kind == FaultKind.TRANSIENT:
+                raise TransientIOError(
+                    f"injected transient error on WAL sync #{index}"
+                )
+            if fault.kind == FaultKind.TORN_WRITE:
+                torn_at = fault.torn_bytes
+                if torn_at is None:
+                    torn_at = self.plan.rng.randrange(
+                        0, max(1, len(self._pending))
+                    )
+                torn_at = min(torn_at, len(self._pending))
+                self._durable.extend(self._pending[:torn_at])
+                self._pending.clear()
+                self.dead = True
+                raise InjectedFaultError(
+                    f"injected torn WAL sync #{index} "
+                    f"({torn_at} pending bytes landed)"
+                )
+        self._durable.extend(self._pending)
+        self._pending.clear()
+
+    def durable(self) -> bytes:
+        """The bytes that survive a crash right now."""
+        return bytes(self._durable)
+
+    def truncate(self, new_base: int) -> None:
+        """Discard the whole log and re-base at ``new_base`` (checkpoint)."""
+        if new_base < self.base_lsn:
+            raise WALError(
+                f"cannot truncate to LSN {new_base} below base {self.base_lsn}"
+            )
+        self._require_alive()
+        self.base_lsn = new_base
+        self._durable.clear()
+        self._pending.clear()
+
+    def discard_after(self, lsn: int) -> None:
+        """Drop durable bytes past ``lsn`` (recovery cuts the torn tail so
+        future appends extend a clean log)."""
+        keep = lsn - self.base_lsn
+        if not 0 <= keep <= len(self._durable):
+            raise WALError(
+                f"discard_after({lsn}) outside durable range "
+                f"[{self.base_lsn}, {self.base_lsn + len(self._durable)}]"
+            )
+        del self._durable[keep:]
+        self._pending.clear()
+
+
+_FILE_MAGIC = b"INSIGHTNOTES-WAL"
+_FILE_HEADER = struct.Struct(">HQ")  # version, base_lsn
+_FILE_VERSION = 1
+FILE_HEADER_SIZE = len(_FILE_MAGIC) + _FILE_HEADER.size
+
+
+class FileWALDevice:
+    """A WAL device over a real file (used by the CLI verbs).
+
+    Bytes are appended with ``write`` + ``flush`` + ``os.fsync`` on
+    :meth:`sync`, so the durable/pending split matches the OS's. The file
+    starts with a 26-byte header (``INSIGHTNOTES-WAL`` + version + base
+    LSN) so a re-opened log self-describes its logical position.
+    """
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        self._pending = bytearray()
+        if self.path.exists() and self.path.stat().st_size > 0:
+            header = self.path.read_bytes()[:FILE_HEADER_SIZE]
+            if (
+                len(header) < FILE_HEADER_SIZE
+                or not header.startswith(_FILE_MAGIC)
+            ):
+                raise WALError(f"{self.path}: not a WAL file")
+            version, self.base_lsn = _FILE_HEADER.unpack_from(
+                header, len(_FILE_MAGIC)
+            )
+            if version != _FILE_VERSION:
+                raise WALError(
+                    f"{self.path}: WAL version {version} unsupported"
+                )
+        else:
+            self.base_lsn = 0
+            self._write_header(0)
+
+    def _write_header(self, base_lsn: int) -> None:
+        self.path.write_bytes(
+            _FILE_MAGIC + _FILE_HEADER.pack(_FILE_VERSION, base_lsn)
+        )
+        self.base_lsn = base_lsn
+
+    @property
+    def durable_len(self) -> int:
+        return self.path.stat().st_size - FILE_HEADER_SIZE
+
+    @property
+    def total_len(self) -> int:
+        return self.durable_len + len(self._pending)
+
+    @property
+    def pending_len(self) -> int:
+        return len(self._pending)
+
+    def append(self, data: bytes) -> None:
+        self._pending.extend(data)
+
+    def sync(self) -> None:
+        if not self._pending:
+            return
+        with open(self.path, "ab") as fh:
+            fh.write(self._pending)
+            fh.flush()
+            os.fsync(fh.fileno())
+        self._pending.clear()
+
+    def durable(self) -> bytes:
+        return self.path.read_bytes()[FILE_HEADER_SIZE:]
+
+    def truncate(self, new_base: int) -> None:
+        if new_base < self.base_lsn:
+            raise WALError(
+                f"cannot truncate to LSN {new_base} below base {self.base_lsn}"
+            )
+        self._pending.clear()
+        self._write_header(new_base)
+
+    def discard_after(self, lsn: int) -> None:
+        keep = lsn - self.base_lsn
+        if not 0 <= keep <= self.durable_len:
+            raise WALError(
+                f"discard_after({lsn}) outside durable range "
+                f"[{self.base_lsn}, {self.base_lsn + self.durable_len}]"
+            )
+        self._pending.clear()
+        with open(self.path, "r+b") as fh:
+            fh.truncate(FILE_HEADER_SIZE + keep)

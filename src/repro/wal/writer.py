@@ -1,0 +1,95 @@
+"""The WAL writer.
+
+One :class:`WALWriter` sits between the database's mutating statement
+paths and a log device. It owns the LSN counter (byte offsets into the
+logical log stream), frames records, and tracks the *flushed* LSN — the
+boundary the buffer pool's log-before-data rule compares page LSNs
+against: a dirty page whose ``page_lsn`` exceeds ``flushed_lsn`` must not
+be written back until the log has been flushed past it.
+"""
+
+from __future__ import annotations
+
+from repro.errors import WALError
+from repro.obs.metrics import MetricsRegistry
+from repro.wal.record import WALRecordType, encode_record
+
+
+class WALWriter:
+    """Appends framed records to a log device and tracks durability."""
+
+    def __init__(self, device, metrics: MetricsRegistry | None = None):
+        self.device = device
+        self.metrics = metrics
+        #: LSN the next record will be assigned (device append position).
+        self._next_lsn = device.base_lsn + device.total_len
+        #: LSN up to which the log is durable (device sync position).
+        self._flushed_lsn = device.base_lsn + device.durable_len
+
+    @property
+    def next_lsn(self) -> int:
+        return self._next_lsn
+
+    @property
+    def flushed_lsn(self) -> int:
+        return self._flushed_lsn
+
+    def _inc(self, key: str, amount: int = 1) -> None:
+        if self.metrics is not None:
+            self.metrics.inc(key, amount)
+
+    def append(self, rtype: int, payload: dict, stmt_id: int = 0) -> int:
+        """Frame and append one record; returns its LSN.
+
+        The record is buffered, not durable — call :meth:`sync` (or rely
+        on the statement-boundary sync) to force it to the device.
+        """
+        if rtype not in WALRecordType.ALL:
+            raise WALError(f"unknown WAL record type {rtype}")
+        lsn = self._next_lsn
+        frame = encode_record(lsn, rtype, stmt_id, payload)
+        self.device.append(frame)
+        self._next_lsn = lsn + len(frame)
+        self._inc("wal.records")
+        self._inc(f"wal.records.{WALRecordType.NAMES[rtype]}")
+        self._inc("wal.bytes", len(frame))
+        return lsn
+
+    def sync(self) -> None:
+        """fsync the log: every appended record becomes durable."""
+        self.device.sync()
+        self._flushed_lsn = self._next_lsn
+        self._inc("wal.syncs")
+
+    def flush(self, upto_lsn: int | None = None) -> None:
+        """Force the log durable at least through ``upto_lsn``.
+
+        This is the buffer pool's log-before-data hook: called before
+        writing back a dirty page whose ``page_lsn`` is beyond the
+        flushed tail. Counted separately (``wal.forced_flushes``) so the
+        observability layer can show how often data pressure forces log
+        I/O ahead of the statement-boundary sync.
+        """
+        if upto_lsn is None:
+            upto_lsn = self._next_lsn
+        if upto_lsn <= self._flushed_lsn:
+            return
+        self.device.sync()
+        self._flushed_lsn = self._next_lsn
+        self._inc("wal.forced_flushes")
+
+    def truncate(self, new_base: int) -> None:
+        """Discard the log through ``new_base`` (checkpoint protocol).
+
+        ``new_base`` must be at the current append position — checkpoints
+        truncate the *whole* log after the image rename lands, so the new
+        base is exactly ``next_lsn``.
+        """
+        if new_base != self._next_lsn:
+            raise WALError(
+                f"checkpoint truncation must land at next_lsn="
+                f"{self._next_lsn}, not {new_base}"
+            )
+        self.device.truncate(new_base)
+        self._flushed_lsn = new_base
+        self._inc("wal.truncations")

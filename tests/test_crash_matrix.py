@@ -1,14 +1,22 @@
-"""Crash matrix for Database.save()/load().
+"""Crash matrices for the durability paths.
 
-``save()`` flushes every dirty page and then writes the image via a
-temporary file + atomic rename. A crash at *any* point must leave a path
-that either loads to an integrity-checked database (old or new state) or
-raises a typed :class:`~repro.errors.CorruptImageError` — never a load
-that silently returns wrong data.
+Two subsystems, one discipline — a fail-stop at *any* point must leave a
+state that recovers to something the client was actually told happened:
 
-The matrix injects a fail-stop at every disk-write index of the flush on a
-pickled clone (the original stays pristine), plus the tmp-file crash
-window between write and rename.
+* ``Database.save()``/``load()``: the image is written via a temporary
+  file + atomic rename, so a crash at every disk-write index (and in the
+  tmp-to-rename window) must leave the *old* image loadable — never a
+  half-written destination, never a leaked sibling.
+* the WAL DML path: every mutating statement appends + fsyncs a logical
+  record before it is acknowledged. The matrix crashes the log device at
+  every append index, every sync index, and with torn syncs, then
+  recovers from the surviving durable bytes and checks the result against
+  a dict-oracle snapshot: **exactly** the acked prefix of the workload
+  (the crashing statement itself may round up to durable when the fault
+  hit after its sync point — never anything beyond).
+* page write-back under WAL: a crash at every disk-write index of the
+  final flush must lose nothing, because log-before-data means the WAL
+  already holds every acked statement.
 """
 
 from __future__ import annotations
@@ -19,9 +27,10 @@ import pytest
 
 from repro.catalog.schema import Column
 from repro.core.database import Database
-from repro.errors import InjectedFaultError
+from repro.errors import InjectedFaultError, ReproError
 from repro.faults import FaultPlan, install_faults
 from repro.storage.record import ValueType
+from repro.wal.device import MemoryWALDevice
 
 
 def make_db() -> Database:
@@ -114,3 +123,193 @@ class TestCrashDuringSave:
         with pytest.raises(InjectedFaultError):
             victim.save(path)
         assert path.read_bytes() == old_image
+
+    def test_failed_rename_leaves_no_tmp(self, tmp_path, monkeypatch):
+        """Regression: a save that dies at the rename (or anywhere after
+        the tmp file exists) must unlink its temporary — repeated failed
+        saves used to leak one ``.tmp`` sibling per attempt."""
+        import repro.core.database as database_mod
+
+        db = make_db()
+        path = tmp_path / "img.db"
+
+        def explode(src, dst):
+            raise OSError("injected: rename failed")
+
+        monkeypatch.setattr(database_mod.os, "replace", explode)
+        with pytest.raises(OSError):
+            db.save(path)
+        monkeypatch.undo()
+        leftovers = [p.name for p in tmp_path.iterdir()]
+        assert leftovers == [], f"save leaked files: {leftovers}"
+        # And the path is still usable once the disk behaves again.
+        db.save(path)
+        Database.load(path, verify=True)
+
+
+# ---------------------------------------------------------------------------
+# The WAL DML crash matrix: fail-stop the log device at every append and
+# fsync index of a mixed workload, recover, compare to the dict oracle.
+# ---------------------------------------------------------------------------
+
+def wal_script():
+    """The workload as one deterministic statement list (DDL + DML), so
+    the same script drives both the oracle run and every crash run."""
+    script = [
+        lambda db: db.create_table(
+            "t", [Column("name", ValueType.TEXT), Column("v", ValueType.INT)]
+        ),
+        lambda db: db.create_index("t", "v"),
+        lambda db: db.create_classifier_instance(
+            "C", ["alpha", "beta"],
+            [("apple alpha fruit", "alpha"), ("bear beta animal", "beta")],
+        ),
+        lambda db: db.sql("ALTER TABLE t ADD INDEXABLE C"),
+    ]
+    for i in range(8):
+        script.append(
+            lambda db, i=i: db.insert("t", [f"r{i}", i % 3])
+        )
+    for oid, text in [(1, "apple alpha fruit"), (2, "bear beta animal"),
+                      (4, "alpha apple again"), (6, "beta bear again")]:
+        script.append(
+            lambda db, oid=oid, text=text: db.add_annotation(
+                text, table="t", oid=oid
+            )
+        )
+    script += [
+        lambda db: db.sql("UPDATE t SET v = 9 WHERE name = 'r5'"),
+        lambda db: db.delete_tuple("t", 3),
+        lambda db: db.delete_annotation(2),
+    ]
+    return script
+
+
+def db_state(db):
+    """Canonical logical state: user rows + raw annotations."""
+    rows = ()
+    if db.catalog.has_table("t"):
+        rows = tuple(sorted(
+            (oid, tuple(values))
+            for oid, values in db.catalog.table("t").scan()
+        ))
+    anns = tuple(sorted(
+        (ann.ann_id, ann.text) for ann in db.manager.annotations.scan()
+    ))
+    return rows, anns
+
+
+def oracle_states():
+    """State snapshots: oracle[k] = the state after k acked statements."""
+    db = Database(buffer_pages=32)
+    states = [db_state(db)]
+    for statement in wal_script():
+        statement(db)
+        states.append(db_state(db))
+    return states
+
+
+def crash_run(plan):
+    """Run the script against a faulted WAL device until the injected
+    crash; returns (device, acked-statement-count)."""
+    db = Database(buffer_pages=32)
+    device = MemoryWALDevice(plan=plan)
+    db.attach_wal(device)
+    acked = 0
+    try:
+        for statement in wal_script():
+            statement(db)
+            acked += 1
+    except InjectedFaultError:
+        pass
+    return device, acked
+
+
+def recover_state(device):
+    """Fresh process over the crashed device's durable bytes."""
+    survivor = MemoryWALDevice.from_durable(
+        device.durable(), base_lsn=device.base_lsn
+    )
+    db, report = Database.recover(None, survivor, verify=True)
+    return db_state(db), report
+
+
+class TestCrashDuringDML:
+    @classmethod
+    def setup_class(cls):
+        cls.oracle = oracle_states()
+        probe = MemoryWALDevice()
+        db = Database(buffer_pages=32)
+        db.attach_wal(probe)
+        for statement in wal_script():
+            statement(db)
+        cls.total_appends = probe.append_ops
+        cls.total_syncs = probe.sync_ops
+        assert cls.total_appends >= len(wal_script())
+        assert cls.total_syncs >= len(wal_script())
+
+    def check(self, device, acked):
+        state, report = recover_state(device)
+        # Every acked statement survives; the crashing one may round up
+        # to durable (fault after its sync), never anything beyond it.
+        allowed = self.oracle[acked:min(acked + 2, len(self.oracle))]
+        assert state in allowed, (
+            f"recovered state diverges from oracle after {acked} acked "
+            f"statements ({report.replayed} replayed, "
+            f"{report.failed} failed, {report.torn_bytes} torn bytes)"
+        )
+
+    def test_crash_at_every_append(self):
+        for at in range(self.total_appends):
+            device, acked = crash_run(FaultPlan().fail_append(at=at))
+            assert device.dead, f"append fault #{at} never fired"
+            assert acked < len(wal_script())
+            self.check(device, acked)
+
+    def test_crash_at_every_sync(self):
+        for at in range(self.total_syncs):
+            device, acked = crash_run(FaultPlan().fail_sync(at=at))
+            assert device.dead, f"sync fault #{at} never fired"
+            self.check(device, acked)
+
+    def test_torn_sync_tail_never_replayed(self):
+        """A sync that tears mid-record leaves a torn tail: recovery must
+        truncate it, landing exactly on the acked prefix."""
+        for at in range(0, self.total_syncs, 3):
+            device, acked = crash_run(FaultPlan().torn_sync(at=at))
+            assert device.dead
+            self.check(device, acked)
+
+    def test_no_fault_full_replay(self):
+        device, acked = crash_run(FaultPlan())
+        assert acked == len(wal_script())
+        state, report = recover_state(device)
+        assert state == self.oracle[-1]
+        assert report.torn_bytes == 0
+
+    def test_crash_at_every_page_writeback(self):
+        """Log-before-data: killing the final flush at any page-write
+        index loses nothing — the WAL already holds every acked
+        statement, so recovery lands on the full oracle state."""
+        probe_db = Database(buffer_pages=32)
+        probe_db.attach_wal(MemoryWALDevice())
+        for statement in wal_script():
+            statement(probe_db)
+        counter = install_faults(probe_db, FaultPlan())
+        probe_db.pool.flush_all()
+        total_writes = counter.write_ops
+        assert total_writes > 0, "matrix is vacuous: nothing to flush"
+
+        for at in range(total_writes):
+            db = Database(buffer_pages=32)
+            device = MemoryWALDevice()
+            db.attach_wal(device)
+            for statement in wal_script():
+                statement(db)
+            install_faults(db, FaultPlan().fail_write(at=at))
+            with pytest.raises((InjectedFaultError, ReproError)):
+                db.pool.flush_all()
+            state, _report = recover_state(device)
+            assert state == self.oracle[-1], (
+                f"page write-back crash #{at} lost acked statements"
+            )
