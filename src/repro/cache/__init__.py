@@ -1,0 +1,9 @@
+"""Versioned in-memory cache over the de-normalized summary storage."""
+
+from repro.cache.summary_cache import (
+    CacheInvalidator,
+    SummaryCache,
+    default_cache_bytes,
+)
+
+__all__ = ["CacheInvalidator", "SummaryCache", "default_cache_bytes"]

@@ -36,6 +36,9 @@ Commands:
   \\instances               list summary instances and their links
   \\stats <table>           show optimizer statistics for a table
   \\set <option> <value>    set a PlannerOptions field
+  \\cache                   summary-cache statistics (hits, misses, bytes)
+  \\cache clear             drop every cached summary set
+  \\cache resize <bytes>    set the cache capacity (0 disables it)
   \\check                   run the full integrity audit (checksums, heap
                            accounting, B-Tree invariants, cross-structure)
   \\repair                  self-heal: quarantine corrupt pages, rebuild
@@ -136,6 +139,35 @@ def _execute_command(db: Database, command: str) -> str:
                     f"ndistinct={ls.ndistinct}"
                 )
         return "\n".join(lines)
+    if name == "cache":
+        cache = getattr(db.manager, "cache", None)
+        if cache is None:
+            return "no summary cache on this database"
+        if args and args[0] == "clear":
+            cache.clear()
+            return "cache cleared"
+        if args and args[0] == "resize":
+            try:
+                capacity = int(args[1])
+            except (IndexError, ValueError):
+                return "usage: \\cache resize <bytes>"
+            cache.resize(capacity)
+            state = "enabled" if cache.enabled else "disabled"
+            return f"cache capacity = {cache.capacity_bytes} bytes ({state})"
+        if args:
+            return "usage: \\cache [clear | resize <bytes>]"
+        s = cache.stats()
+        state = "enabled" if cache.enabled else "disabled"
+        return (
+            f"summary cache: {state}, "
+            f"{s['used_bytes']}/{s['capacity_bytes']} bytes, "
+            f"{s['entries']} entries\n"
+            f"  hits={s['hits']} misses={s['misses']} "
+            f"hit_rate={s['hit_rate']:.1%}\n"
+            f"  stores={s['stores']} evictions={s['evictions']} "
+            f"invalidations={s['invalidations']} "
+            f"rejections={s['rejections']} epoch_bumps={s['epoch_bumps']}"
+        )
     if name == "check":
         return str(db.check_integrity())
     if name == "repair":

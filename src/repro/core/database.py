@@ -143,12 +143,17 @@ class Database:
         buffer_pages: int = 4096,
         options: PlannerOptions | None = None,
         disk: DiskManager | None = None,
+        cache_bytes: int | None = None,
     ):
         self.disk = disk if disk is not None else DiskManager()
         self.pool = BufferPool(self.disk, capacity=buffer_pages)
         self.catalog = Catalog(self.pool)
         self.metrics = MetricsRegistry()
-        self.manager = SummaryManager(self.pool, metrics=self.metrics)
+        #: ``cache_bytes`` sizes the summary-set cache (None reads the
+        #: REPRO_CACHE_BYTES env var; 0 disables it).
+        self.manager = SummaryManager(
+            self.pool, metrics=self.metrics, cache_bytes=cache_bytes
+        )
         self.statistics = StatisticsCatalog(self.catalog, self.manager)
         self.summary_indexes: dict[tuple[str, str], SummaryBTreeIndex] = {}
         self.baseline_indexes: dict[tuple[str, str], BaselineClassifierIndex] = {}
@@ -637,6 +642,11 @@ class Database:
         # The header's checkpoint LSN is authoritative (v2 images carry 0).
         db.checkpoint_lsn = checkpoint_lsn
         db._applied_lsn = max(db._applied_lsn, checkpoint_lsn)
+        cache = getattr(db.manager, "cache", None)
+        if cache is not None:
+            # Images deserialize cold by construction; the bump makes the
+            # fresh-epoch guarantee hold even if that ever changes.
+            cache.bump_all("load")
         if verify:
             db.check_integrity(raise_on_error=True)
         return db
@@ -683,6 +693,13 @@ class Database:
             snap[f"index.keyword.{table}.{instance}.probes"] = getattr(
                 index, "probes", 0
             )
+        cache = getattr(self.manager, "cache", None)
+        if cache is not None:
+            # Event counters (cache.hits/misses/…) already live in the
+            # shared registry; add the occupancy gauges.
+            snap["cache.capacity_bytes"] = cache.capacity_bytes
+            snap["cache.used_bytes"] = cache.used_bytes
+            snap["cache.entries"] = len(cache)
         return snap
 
     def reset_metrics(self) -> None:
@@ -852,7 +869,9 @@ class Database:
         profiler = None
         metrics_before: dict[str, float] | None = None
         if profile:
-            profiler = PlanProfiler(self.pool, self.disk).attach(physical)
+            profiler = PlanProfiler(
+                self.pool, self.disk, cache=getattr(self.manager, "cache", None)
+            ).attach(physical)
             metrics_before = self.metrics_snapshot()
         io_before = self.disk.stats.snapshot()
         pages_before = self.pool.hits + self.pool.misses

@@ -12,6 +12,11 @@ Naming convention used by the engine::
     maint.on_summary_insert      SummaryManager observer events (§4.1.2)
     maint.annotation_add         raw annotation mutations
     index.summary.<tbl>.<inst>.probes   Summary-BTree probe counts
+    cache.hits / cache.misses    summary-cache lookups (repro.cache)
+    cache.stores / cache.evictions / cache.invalidations / cache.rejections
+                                 summary-cache admission and removal events
+    cache.epoch_bumps[.<reason>] coarse invalidations (write / recover /
+                                 repair / load / rebuild_oid_index)
     pool.hits / pool.misses      buffer-pool counters (merged at snapshot)
     disk.reads / disk.writes     DiskManager counters (merged at snapshot)
     faults.injected              total injected disk faults (repro.faults)

@@ -6,9 +6,11 @@ operator's iterator is then wrapped (see
 ``next()`` call charges to that operator:
 
 * rows produced and ``next()`` calls,
-* wall time, and
+* wall time,
 * the buffer-pool (hits/misses) and disk (reads/writes) counter deltas
-  observed across the call.
+  observed across the call, and
+* the summary-cache hit/miss deltas (when the database runs with a
+  :class:`~repro.cache.SummaryCache` attached).
 
 Measurements are *inclusive* while running — a join's ``next()`` contains
 the work of the scans it pulls from — and converted to *exclusive* ("self")
@@ -39,6 +41,8 @@ class OperatorStats:
     pool_misses: int = 0
     disk_reads: int = 0
     disk_writes: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
 
     @property
     def pages(self) -> int:
@@ -49,9 +53,12 @@ class OperatorStats:
 class PlanProfiler:
     """Charges execution work to the physical operators of one plan."""
 
-    def __init__(self, pool, disk) -> None:
+    def __init__(self, pool, disk, cache=None) -> None:
         self.pool = pool
         self.disk = disk
+        #: summary cache whose hit/miss counters are attributed per
+        #: operator (None: the cache columns stay zero).
+        self.cache = cache
         self.root = None
         self._stats: dict[int, OperatorStats] = {}
 
@@ -76,16 +83,21 @@ class PlanProfiler:
         stats = self._stats[id(op)]
         pool = self.pool
         io = self.disk.stats
+        cache = self.cache
         while True:
             hits0, misses0 = pool.hits, pool.misses
             reads0, writes0 = io.reads, io.writes
+            chits0 = cache.hits if cache is not None else 0
+            cmisses0 = cache.misses if cache is not None else 0
             started = time.perf_counter()
             try:
                 row = next(inner)
             except StopIteration:
-                self._charge(stats, started, hits0, misses0, reads0, writes0)
+                self._charge(stats, started, hits0, misses0, reads0, writes0,
+                             chits0, cmisses0)
                 return
-            self._charge(stats, started, hits0, misses0, reads0, writes0)
+            self._charge(stats, started, hits0, misses0, reads0, writes0,
+                         chits0, cmisses0)
             stats.rows += 1
             yield row
 
@@ -97,6 +109,8 @@ class PlanProfiler:
         misses0: int,
         reads0: int,
         writes0: int,
+        chits0: int = 0,
+        cmisses0: int = 0,
     ) -> None:
         stats.wall_s += time.perf_counter() - started
         stats.next_calls += 1
@@ -104,6 +118,9 @@ class PlanProfiler:
         stats.pool_misses += self.pool.misses - misses0
         stats.disk_reads += self.disk.stats.reads - reads0
         stats.disk_writes += self.disk.stats.writes - writes0
+        if self.cache is not None:
+            stats.cache_hits += self.cache.hits - chits0
+            stats.cache_misses += self.cache.misses - cmisses0
 
     # -- reporting ------------------------------------------------------------
 
@@ -133,6 +150,12 @@ class PlanProfiler:
                 "self_misses": s.pool_misses - sum(k.pool_misses for k in kids),
                 "self_reads": s.disk_reads - sum(k.disk_reads for k in kids),
                 "self_writes": s.disk_writes - sum(k.disk_writes for k in kids),
+                "cache_hits": s.cache_hits,
+                "cache_misses": s.cache_misses,
+                "self_cache_hits":
+                    s.cache_hits - sum(k.cache_hits for k in kids),
+                "self_cache_misses":
+                    s.cache_misses - sum(k.cache_misses for k in kids),
             })
             for child in op.children:
                 visit(child, depth + 1)
@@ -145,11 +168,17 @@ class PlanProfiler:
         lines = []
         for e in self.summarize():
             indent = "  " * e["depth"]
-            lines.append(
+            line = (
                 f"{indent}{e['label']}"
                 f"  (rows={e['rows']} next={e['next_calls']}"
                 f" self_ms={e['self_time_s'] * 1e3:.2f}"
                 f" pages={e['self_pages']}"
-                f" reads={e['self_reads']} writes={e['self_writes']})"
+                f" reads={e['self_reads']} writes={e['self_writes']}"
             )
+            if e["self_cache_hits"] or e["self_cache_misses"]:
+                line += (
+                    f" cache={e['self_cache_hits']}/"
+                    f"{e['self_cache_hits'] + e['self_cache_misses']}"
+                )
+            lines.append(line + ")")
         return "\n".join(lines)

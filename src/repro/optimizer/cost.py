@@ -45,6 +45,33 @@ DEFAULT_RANGE_SELECTIVITY = 0.2
 DEFAULT_PRED_SELECTIVITY = 0.25
 KEYWORD_SELECTIVITY = 0.1
 
+#: Cap on the cost discount a warm summary cache may claim on cached
+#: summary-row reads.  Capped (rather than letting a 100% hit rate erase
+#: the charge entirely) because the hit rate is a global average, cached
+#: probes still pay CPU, and plan choices must not whipsaw on cache
+#: warm-up: with the cap, every access path keeps a floor of half its
+#: summary-read I/O charge.
+SUMMARY_CACHE_DISCOUNT_CAP = 0.5
+#: Minimum observed lookups before the discount kicks in — a handful of
+#: early hits must not reprice every plan.
+SUMMARY_CACHE_MIN_SAMPLE = 64
+
+
+def summary_read_discount(cache) -> float:
+    """Multiplier in [1 - CAP, 1] applied to summary-storage read I/O for
+    access paths whose summary reads go through the cache.
+
+    1.0 (no discount) when the cache is absent, disabled, or has seen too
+    few lookups to trust its hit rate.
+    """
+    if cache is None or not cache.enabled:
+        return 1.0
+    total = cache.hits + cache.misses
+    if total < SUMMARY_CACHE_MIN_SAMPLE:
+        return 1.0
+    rate = cache.hits / total
+    return 1.0 - min(rate, 1.0) * SUMMARY_CACHE_DISCOUNT_CAP
+
 
 @dataclass(frozen=True)
 class IndexableSummaryPred:

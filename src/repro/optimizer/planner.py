@@ -84,6 +84,7 @@ from repro.optimizer.cost import (
     match_indexable_summary_pred,
     match_keyword_pred,
     match_summary_join_pred,
+    summary_read_discount,
 )
 from repro.optimizer.rules import apply_rules
 from repro.optimizer.statistics import StatisticsCatalog
@@ -353,6 +354,15 @@ class _LowerState:
             return True
         return self.summary_uses.get(alias, 0) - consumed > 0
 
+    def _summary_io_factor(self) -> float:
+        """Discount on summary-storage read charges when a warm
+        :class:`~repro.cache.SummaryCache` makes repeat probes cheap.
+        Applies only to reads that go through the cache (SummaryStorage
+        reads via the manager) — direct heap reads keep full price."""
+        return summary_read_discount(
+            getattr(self.planner.manager, "cache", None)
+        )
+
     def _retained(self, alias: str) -> set[str] | None:
         return self.info.retained_summary_columns.get(alias)
 
@@ -513,7 +523,7 @@ class _LowerState:
         with_summaries = self._needs_summaries(scan.alias) or bool(summary_preds)
         io = stats.heap_pages * IO_COST
         if with_summaries:
-            io += stats.summary_pages * IO_COST
+            io += stats.summary_pages * IO_COST * self._summary_io_factor()
         base = Lowered(
             SeqScan(self.ctx, scan.table, scan.alias, with_summaries,
                     self._retained(scan.alias)),
@@ -570,7 +580,8 @@ class _LowerState:
             if not index.backward_pointers:
                 per_match += IO_COST + INDEX_DESCENT  # storage row + OID probe
             if with_summaries and index.backward_pointers:
-                per_match += IO_COST  # summary storage row
+                # summary storage row (read through the summary cache)
+                per_match += IO_COST * self._summary_io_factor()
             op: PhysicalOperator = SummaryIndexScan(
                 self.ctx, scan.table, scan.alias, matched.instance,
                 matched.label, lo, hi, lo_inc, hi_inc, with_summaries,
@@ -580,7 +591,7 @@ class _LowerState:
             # Baseline: derived index -> normalized row -> OID index -> heap.
             per_match = IO_COST + INDEX_DESCENT + IO_COST
             if with_summaries:
-                per_match += IO_COST
+                per_match += IO_COST * self._summary_io_factor()
                 if self.options.normalized_propagation:
                     per_match += 4 * IO_COST  # re-assemble from primitives
             op = BaselineIndexScan(
@@ -609,7 +620,7 @@ class _LowerState:
             with_summaries, self._retained(scan.alias),
         )
         per_match = INDEX_DESCENT / 3.0 + IO_COST + (
-            IO_COST if with_summaries else 0.0
+            IO_COST * self._summary_io_factor() if with_summaries else 0.0
         )
         base = Lowered(
             op,
@@ -635,7 +646,9 @@ class _LowerState:
         if annotated < stats.row_count:
             return None
         with_summaries = self._needs_summaries(scan.alias) or bool(summary_preds)
-        per_match = IO_COST + (IO_COST if with_summaries else 0.0)
+        per_match = IO_COST + (
+            IO_COST * self._summary_io_factor() if with_summaries else 0.0
+        )
         if not index.backward_pointers:
             per_match += IO_COST + INDEX_DESCENT
         op = SummaryIndexScan(
@@ -663,7 +676,9 @@ class _LowerState:
             selectivity = 0.2
         matches = max(stats.row_count * selectivity, 1.0)
         with_summaries = self._needs_summaries(scan.alias) or bool(summary_preds)
-        per_match = IO_COST + (IO_COST if with_summaries else 0.0)
+        per_match = IO_COST + (
+            IO_COST * self._summary_io_factor() if with_summaries else 0.0
+        )
         op = IndexScan(
             self.ctx, scan.table, scan.alias, matched.column, lo, hi,
             lo_inc, hi_inc, with_summaries, self._retained(scan.alias),

@@ -13,6 +13,7 @@ stale and the next optimizer access re-analyzes it.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 from repro.catalog.catalog import Catalog
@@ -32,12 +33,16 @@ class Histogram:
 
     @classmethod
     def build(cls, values: list[float], num_buckets: int = DEFAULT_BUCKETS) -> "Histogram":
-        if not values:
+        # Non-finite inputs are dropped, not clamped: a single NaN/inf used
+        # to poison lo/hi (and thereby every bucket boundary), silently
+        # skewing all later estimates for the column.
+        finite = [float(v) for v in values if math.isfinite(v)]
+        if not finite:
             return cls(0.0, 0.0, [0] * num_buckets)
-        lo, hi = float(min(values)), float(max(values))
+        lo, hi = min(finite), max(finite)
         hist = cls(lo, hi, [0] * num_buckets)
-        for v in values:
-            hist.buckets[hist._bucket_of(float(v))] += 1
+        for v in finite:
+            hist.buckets[hist._bucket_of(v)] += 1
         return hist
 
     @property
@@ -59,6 +64,9 @@ class Histogram:
             return 0.0
         if value < self.lo or value > self.hi:
             return 0.0
+        if self.hi == self.lo:
+            # One-value domain: exact, not a bucket-spread estimate.
+            return 1.0 if value == self.lo else 0.0
         bucket = self.buckets[self._bucket_of(value)]
         per_value = bucket / max(self.total, 1)
         # Assume values spread evenly inside the bucket.
@@ -75,6 +83,12 @@ class Histogram:
         hi = self.hi if hi is None else hi
         if hi < self.lo or lo > self.hi or hi < lo:
             return 0.0
+        if self.hi == self.lo:
+            # One-value domain: the synthetic bucket width used to make a
+            # range like [v, v] compute zero overlap and return 0.0 even
+            # though every row matches.  The disjointness test above already
+            # rejected ranges that miss the value, so this range contains it.
+            return 1.0
         width = self._width()
         count = 0.0
         for i, bucket in enumerate(self.buckets):

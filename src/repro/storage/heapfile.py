@@ -179,11 +179,21 @@ class HeapFile:
 
     def delete(self, rid: RID) -> None:
         """Delete the record at ``rid`` (tombstones the slot)."""
-        page = self._page(rid.page_no)
-        self._release(page.read(rid.slot))
-        page.delete(rid.slot)
-        self._dirty(rid.page_no)
-        self._record_count -= 1
+        # Pinned: _release touches overflow-chain pages through the pool,
+        # which may otherwise evict this very page and orphan the frame
+        # view we are about to tombstone through.
+        if not 0 <= rid.page_no < len(self.page_ids):
+            raise StorageError(f"heap page {rid.page_no} out of range")
+        page_id = self.page_ids[rid.page_no]
+        self.pool.pin(page_id)
+        try:
+            page = self._page(rid.page_no)
+            self._release(page.read(rid.slot))
+            page.delete(rid.slot)
+            self._dirty(rid.page_no)
+            self._record_count -= 1
+        finally:
+            self.pool.unpin(page_id)
 
     def update(self, rid: RID, record: bytes) -> RID:
         """Update the record at ``rid`` in place when it fits.
@@ -192,20 +202,33 @@ class HeapFile:
         fresh location and the *new* RID is returned; callers owning
         secondary structures must handle the move.
         """
-        page = self._page(rid.page_no)
-        self._release(page.read(rid.slot))
-        stored = self._wrap(record)
+        # Pinned across the whole rewrite: _release frees the old overflow
+        # chain and _wrap may allocate a new one, and both walk other pages
+        # through the pool.  Under memory pressure that used to evict this
+        # page between reading the frame view and writing through it — the
+        # write landed on an orphaned buffer and mark_dirty blew up, leaving
+        # the old record freed but the slot not yet rewritten.
+        if not 0 <= rid.page_no < len(self.page_ids):
+            raise StorageError(f"heap page {rid.page_no} out of range")
+        page_id = self.page_ids[rid.page_no]
+        self.pool.pin(page_id)
         try:
-            page.update(rid.slot, stored)
-            self._dirty(rid.page_no)
-            return rid
-        except PageFullError:
-            page.delete(rid.slot)
-            self._dirty(rid.page_no)
-            self._record_count -= 1
-            # Re-insert the already-wrapped form: _wrap may have allocated
-            # an overflow chain that must not be duplicated.
-            return self._insert_stored(stored)
+            page = self._page(rid.page_no)
+            self._release(page.read(rid.slot))
+            stored = self._wrap(record)
+            try:
+                page.update(rid.slot, stored)
+                self._dirty(rid.page_no)
+                return rid
+            except PageFullError:
+                page.delete(rid.slot)
+                self._dirty(rid.page_no)
+                self._record_count -= 1
+                # Re-insert the already-wrapped form: _wrap may have
+                # allocated an overflow chain that must not be duplicated.
+                return self._insert_stored(stored)
+        finally:
+            self.pool.unpin(page_id)
 
     def scan(self) -> Iterator[tuple[RID, bytes]]:
         """Yield ``(rid, record)`` for every live record, in page order."""

@@ -24,6 +24,7 @@ from typing import Protocol
 
 from repro.annotations.annotation import Annotation, AnnotationTarget
 from repro.annotations.store import AnnotationStore
+from repro.cache import CacheInvalidator, SummaryCache, default_cache_bytes
 from repro.errors import SummaryError, UnknownInstanceError
 from repro.mining.clustream import CluStream
 from repro.obs.metrics import MetricsRegistry
@@ -63,10 +64,26 @@ class SummaryObserver(Protocol):
 class SummaryManager:
     """The summary subsystem's single entry point."""
 
-    def __init__(self, pool: BufferPool, metrics: MetricsRegistry | None = None):
+    #: Class-level fallback for managers unpickled from pre-cache images.
+    cache: SummaryCache | None = None
+
+    def __init__(
+        self,
+        pool: BufferPool,
+        metrics: MetricsRegistry | None = None,
+        cache_bytes: int | None = None,
+    ):
         #: maintenance-event counters (``maint.*``); shared with the owning
         #: Database's registry so EXPLAIN ANALYZE can report deltas.
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        #: shared summary-set cache in front of every SummaryStorage;
+        #: capacity defaults to the REPRO_CACHE_BYTES env var (0 = off).
+        self.cache = SummaryCache(
+            capacity_bytes=(
+                default_cache_bytes() if cache_bytes is None else cache_bytes
+            ),
+            metrics=self.metrics,
+        )
         self._cell_annotated: set[str] = set()
         #: black-box summary-set UDFs (§3.2): name -> callable(SummarySet)
         self.udfs: dict[str, object] = {}
@@ -175,7 +192,15 @@ class SummaryManager:
     def storage_for(self, table: str) -> SummaryStorage:
         table = table.lower()
         if table not in self._storages:
-            self._storages[table] = SummaryStorage(table, self.pool)
+            self._storages[table] = SummaryStorage(
+                table, self.pool, cache=self.cache
+            )
+            if self.cache is not None:
+                # Observer-driven invalidation: the "*" channel sees one
+                # event per storage write/delete for this table.
+                self.add_observer(
+                    table, "*", CacheInvalidator(self.cache, table)
+                )
         return self._storages[table]
 
     # -- observers ----------------------------------------------------------------
@@ -344,14 +369,32 @@ class SummaryManager:
 
     def raw_texts_for(self, table: str, oid: int) -> list[str]:
         """Raw texts of every annotation attached to a tuple (keyword-search
-        fallback of §3.1)."""
+        fallback of §3.1).
+
+        Memoized per (table, oid): annotation texts are immutable and any
+        change to *which* annotations a tuple carries rewrites its storage
+        row, which invalidates both cache kinds for the OID.
+        """
+        table = table.lower()
+        cache = self.cache
+        if cache is not None and cache.enabled:
+            hit, texts = cache.lookup(table, oid, kind="texts")
+            if hit:
+                return list(texts)
         objects = self.storage_for(table).get(oid)
         if not objects:
-            return []
-        ann_ids: set[int] = set()
-        for obj in objects.values():
-            ann_ids |= obj.all_annotation_ids()
-        return self.annotations.texts(sorted(ann_ids))
+            texts = []
+        else:
+            ann_ids: set[int] = set()
+            for obj in objects.values():
+                ann_ids |= obj.all_annotation_ids()
+            texts = self.annotations.texts(sorted(ann_ids))
+        if cache is not None and cache.enabled:
+            cache.store(
+                table, oid, tuple(texts),
+                sum(len(t) for t in texts), kind="texts",
+            )
+        return texts
 
     def zoom_in(
         self, table: str, oid: int, instance_name: str,

@@ -27,12 +27,18 @@ from repro.summaries.objects import SummaryObject
 class SummaryStorage:
     """One table's ``R_SummaryStorage``: OID -> {instance -> SummaryObject}."""
 
-    def __init__(self, table_name: str, pool: BufferPool):
+    #: Class-level fallback so instances unpickled from pre-cache images
+    #: simply run uncached; the owning SummaryManager attaches its shared
+    #: :class:`~repro.cache.SummaryCache` on construction.
+    cache = None
+
+    def __init__(self, table_name: str, pool: BufferPool, cache=None):
         self.table_name = table_name
         self.pool = pool
         self.heap = HeapFile(pool)
         #: OID -> heap RID of the tuple's summary row.
         self.oid_index = BTree(pool, unique=True)
+        self.cache = cache
 
     def __len__(self) -> int:
         return len(self.heap)
@@ -64,11 +70,34 @@ class SummaryStorage:
         return RID(page_no, slot)
 
     def get(self, oid: int) -> dict[str, SummaryObject] | None:
-        """All summary objects of tuple ``oid`` (None when un-annotated)."""
+        """All summary objects of tuple ``oid`` (None when un-annotated).
+
+        Read-through cached: the cache keeps pristine private copies (a
+        ``None`` value memoizes "no storage row"), and every return value —
+        hit or miss — is the caller's to mutate freely.
+        """
+        cache = self.cache
+        if cache is None or not cache.enabled:
+            rid = self._rid_for(oid)
+            if rid is None:
+                return None
+            return self._decode(self.heap.read(rid))
+        hit, value = cache.lookup(self.table_name, oid)
+        if hit:
+            if value is None:
+                return None
+            return {name: obj.copy() for name, obj in value.items()}
         rid = self._rid_for(oid)
         if rid is None:
+            cache.store(self.table_name, oid, None, 0)
             return None
-        return self._decode(self.heap.read(rid))
+        data = self.heap.read(rid)
+        objects = self._decode(data)
+        cache.store(
+            self.table_name, oid,
+            {name: obj.copy() for name, obj in objects.items()}, len(data),
+        )
+        return objects
 
     def put(self, oid: int, objects: dict[str, SummaryObject]) -> bool:
         """Insert or replace the summary row of ``oid``.
@@ -76,6 +105,10 @@ class SummaryStorage:
         Returns True when this created a *new* storage row (the paper's
         "Adding Annotation — Insertion" case) and False on update.
         """
+        # Belt-and-braces with the observer-driven invalidation: repair
+        # writes storage rows directly, bypassing the SummaryManager.
+        if self.cache is not None:
+            self.cache.invalidate(self.table_name, oid)
         record = self._encode(objects)
         rid = self._rid_for(oid)
         if rid is None:
@@ -96,6 +129,8 @@ class SummaryStorage:
 
     def delete(self, oid: int) -> None:
         """Drop the summary row of ``oid`` (tuple deletion, §4.1.2)."""
+        if self.cache is not None:
+            self.cache.invalidate(self.table_name, oid)
         rid = self._rid_for(oid)
         if rid is None:
             raise RecordNotFoundError(
@@ -115,6 +150,9 @@ class SummaryStorage:
         empty, or duplicate an already-seen OID (first row wins) are
         salvage-deleted. Returns counters: ``kept``, ``salvaged``.
         """
+        if self.cache is not None:
+            # Any OID may remap or vanish: stale everything for this table.
+            self.cache.bump_epoch(self.table_name, "rebuild_oid_index")
         live: dict[int, RID] = {}
         drop: list[RID] = []
         for page_no in range(len(self.heap.page_ids)):

@@ -107,6 +107,11 @@ def replay(db, device) -> RecoveryReport:
     if scan.torn_bytes:
         device.discard_after(scan.end_lsn)
     db._applied_lsn = max(db._applied_lsn, scan.end_lsn)
+    cache = getattr(db.manager, "cache", None)
+    if cache is not None:
+        # Replay mutated state through every layer; nothing cached before
+        # (or during) recovery may be served after it.
+        cache.bump_all("recover")
     db.metrics.inc("recovery.runs")
     db.metrics.inc("recovery.records_replayed", report.replayed)
     db.metrics.inc("recovery.records_skipped", report.skipped)

@@ -138,3 +138,46 @@ class TestEstimatedVsActual:
         everything = db.sql("Select common_name From birds")
         assert len(narrow) < len(everything)
         assert len(everything) == 80
+
+
+class TestDegenerateHistograms:
+    """Single-value and non-finite inputs used to produce nonsense
+    selectivities (a [v, v] range over a one-value column estimated 0.0;
+    one NaN poisoned every bucket boundary)."""
+
+    def _single(self):
+        from repro.optimizer.statistics import Histogram
+
+        return Histogram.build([7.0] * 50)
+
+    def test_single_value_equality_is_exact(self):
+        hist = self._single()
+        assert hist.selectivity_eq(7.0, ndistinct=1) == 1.0
+        assert hist.selectivity_eq(6.0, ndistinct=1) == 0.0
+        assert hist.selectivity_eq(8.0, ndistinct=1) == 0.0
+
+    def test_single_value_range_is_exact(self):
+        hist = self._single()
+        assert hist.selectivity_range(7.0, 7.0) == 1.0
+        assert hist.selectivity_range(6.5, 7.5) == 1.0
+        assert hist.selectivity_range(None, None) == 1.0
+        assert hist.selectivity_range(7.1, 9.0) == 0.0
+        assert hist.selectivity_range(0.0, 6.9) == 0.0
+
+    def test_non_finite_values_are_dropped(self):
+        from repro.optimizer.statistics import Histogram
+
+        hist = Histogram.build([1.0, 2.0, 3.0, float("nan"),
+                                float("inf"), float("-inf")])
+        # Boundaries come from the finite values only.
+        assert (hist.lo, hist.hi) == (1.0, 3.0)
+        assert hist.total == 3
+        assert hist.selectivity_range(1.0, 3.0) == pytest.approx(1.0)
+
+    def test_all_non_finite_yields_empty_histogram(self):
+        from repro.optimizer.statistics import Histogram
+
+        hist = Histogram.build([float("nan"), float("inf")])
+        assert hist.total == 0
+        assert hist.selectivity_eq(1.0, ndistinct=1) == 0.0
+        assert hist.selectivity_range(None, None) == 0.0

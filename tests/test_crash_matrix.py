@@ -21,6 +21,7 @@ state that recovers to something the client was actually told happened:
 
 from __future__ import annotations
 
+import json
 import pickle
 
 import pytest
@@ -185,8 +186,30 @@ def wal_script():
     return script
 
 
+def summary_state(db):
+    """Summary sets as seen through the live read path — when the summary
+    cache is enabled this reads *through the cache*, so comparing it to an
+    oracle computed without one catches any stale entry surviving a
+    crash/recover cycle."""
+    if not db.catalog.has_table("t"):
+        return ()
+    storage = db.manager.storage_for("t")
+    entries = []
+    for oid, _values in db.catalog.table("t").scan():
+        objects = storage.get(oid)
+        if not objects:
+            continue
+        canon = []
+        for name, obj in sorted(objects.items()):
+            d = obj.to_dict()
+            d.pop("obj_id", None)  # in-memory identity, not value
+            canon.append((name, json.dumps(d, sort_keys=True)))
+        entries.append((oid, tuple(canon)))
+    return tuple(sorted(entries))
+
+
 def db_state(db):
-    """Canonical logical state: user rows + raw annotations."""
+    """Canonical logical state: user rows + raw annotations + summaries."""
     rows = ()
     if db.catalog.has_table("t"):
         rows = tuple(sorted(
@@ -196,7 +219,7 @@ def db_state(db):
     anns = tuple(sorted(
         (ann.ann_id, ann.text) for ann in db.manager.annotations.scan()
     ))
-    return rows, anns
+    return rows, anns, summary_state(db)
 
 
 def oracle_states():
@@ -211,8 +234,10 @@ def oracle_states():
 
 def crash_run(plan):
     """Run the script against a faulted WAL device until the injected
-    crash; returns (device, acked-statement-count)."""
-    db = Database(buffer_pages=32)
+    crash; returns (device, acked-statement-count).  The crashing run
+    keeps a summary cache enabled so observer-driven invalidation is
+    exercised under every fault schedule too."""
+    db = Database(buffer_pages=32, cache_bytes=1 << 20)
     device = MemoryWALDevice(plan=plan)
     db.attach_wal(device)
     acked = 0
@@ -226,12 +251,21 @@ def crash_run(plan):
 
 
 def recover_state(device):
-    """Fresh process over the crashed device's durable bytes."""
+    """Fresh process over the crashed device's durable bytes.
+
+    The recovered database reads its state twice through an enabled
+    summary cache: the cold pass populates it, the warm pass must agree
+    (recovery bumped every epoch, so a stale pre-crash entry surviving
+    into either pass would diverge from the oracle comparison)."""
     survivor = MemoryWALDevice.from_durable(
         device.durable(), base_lsn=device.base_lsn
     )
     db, report = Database.recover(None, survivor, verify=True)
-    return db_state(db), report
+    db.manager.cache.resize(1 << 20)
+    cold = db_state(db)
+    warm = db_state(db)
+    assert cold == warm, "cache-warm read diverges from cold read"
+    return warm, report
 
 
 class TestCrashDuringDML:

@@ -170,6 +170,19 @@ class DMLMachine(RuleBasedStateMachine):
                 )
 
     @invariant()
+    def storage_reads_match_oracle(self):
+        """Summary sets read through the live path (and through the cache,
+        when one is enabled) agree with the oracle's label counts."""
+        storage = self.db.manager.storage_for("t")
+        for oid in self.summarized:
+            expected = self._label_counts(oid)
+            objects = storage.get(oid)
+            got = dict.fromkeys(LABELS, 0)
+            if objects and "C" in objects:
+                got.update(dict(objects["C"].rep()))
+            assert got == expected, f"summary set of oid {oid} is stale"
+
+    @invariant()
     def integrity_holds(self):
         # Full audit every few steps (it re-scans everything); always on
         # the final step via teardown below.
@@ -183,9 +196,39 @@ class DMLMachine(RuleBasedStateMachine):
         assert report.ok, str(report)
 
 
-TestDMLMachine = DMLMachine.TestCase
-TestDMLMachine.settings = settings(
+class CachedDMLMachine(DMLMachine):
+    """The same workload and oracle with a deliberately tiny summary cache
+    enabled, plus clear/resize churn rules: every invariant read now runs
+    through lookup / observer-invalidate / LRU-evict paths, so a single
+    stale entry surfaces as an oracle divergence."""
+
+    def __init__(self):
+        super().__init__()
+        self.db.manager.cache.resize(8192)
+
+    @rule()
+    def clear_cache(self):
+        self.db.manager.cache.clear()
+
+    @rule(capacity=st.sampled_from([0, 2048, 8192, 1 << 16]))
+    def resize_cache(self, capacity):
+        # capacity 0 legitimately disables the cache for a while; a later
+        # resize re-enables it cold.
+        self.db.manager.cache.resize(capacity)
+
+    @invariant()
+    def cache_stays_bounded(self):
+        cache = self.db.manager.cache
+        assert cache.used_bytes <= max(cache.capacity_bytes, 0)
+
+
+_SETTINGS = settings(
     max_examples=int(os.environ.get("REPRO_STATEFUL_EXAMPLES", "12")),
     stateful_step_count=int(os.environ.get("REPRO_STATEFUL_STEPS", "25")),
     deadline=None,
 )
+
+TestDMLMachine = DMLMachine.TestCase
+TestDMLMachine.settings = _SETTINGS
+TestCachedDMLMachine = CachedDMLMachine.TestCase
+TestCachedDMLMachine.settings = _SETTINGS
