@@ -19,7 +19,7 @@ import os
 import sys
 
 from repro.core.database import Database, QueryReport
-from repro.errors import ReproError
+from repro.errors import QueryCancelledError, QueryTimeoutError, ReproError
 from repro.query.result import ResultSet
 
 PROMPT = "insightnotes> "
@@ -43,6 +43,8 @@ Commands:
                            accounting, B-Tree invariants, cross-structure)
   \\repair                  self-heal: quarantine corrupt pages, rebuild
                            derived structures, re-audit for convergence
+  \\timeout [secs|off]      show or set the statement deadline (Ctrl-C
+                           during a statement cancels it, not the shell)
   \\help                    this text
   \\quit                    exit\
 """
@@ -62,15 +64,19 @@ def _parse_option_value(raw: str) -> object:
         return raw
 
 
-def execute_line(db: Database, line: str) -> str:
+def execute_line(db: Database, line: str, interruptible: bool = False) -> str:
     """One REPL interaction; returns the text to print (exposed separately
-    from the input loop so it is unit-testable)."""
+    from the input loop so it is unit-testable).
+
+    ``interruptible`` routes the statement through :meth:`Database.execute`
+    with SIGINT handling, so Ctrl-C cancels the running statement instead
+    of killing the shell (only useful from the interactive main loop)."""
     line = line.strip()
     if not line:
         return ""
     if line.startswith("\\"):
         return _execute_command(db, line[1:])
-    result = db.sql(line)
+    result = db.execute(line, interruptible=interruptible)
     if isinstance(result, QueryReport):
         return str(result)
     if isinstance(result, ResultSet):
@@ -172,6 +178,24 @@ def _execute_command(db: Database, command: str) -> str:
         return str(db.check_integrity())
     if name == "repair":
         return str(db.repair())
+    if name == "timeout":
+        if not args:
+            current = db.statement_timeout
+            return (
+                f"statement timeout = {current}s" if current is not None
+                else "statement timeout = off"
+            )
+        if args[0].lower() in ("off", "none", "0"):
+            db.statement_timeout = None
+            return "statement timeout = off"
+        try:
+            seconds = float(args[0])
+            if seconds <= 0:
+                raise ValueError
+        except ValueError:
+            return "usage: \\timeout [<seconds> | off]"
+        db.statement_timeout = seconds
+        return f"statement timeout = {seconds}s"
     if name == "set":
         if len(args) != 2:
             return "usage: \\set <option> <value>"
@@ -182,6 +206,36 @@ def _execute_command(db: Database, command: str) -> str:
         setattr(db.options, option, _parse_option_value(raw))
         return f"{option} = {getattr(db.options, option)!r}"
     return f"unknown command \\{parts[0]} (try \\help)"
+
+
+def repl_step(db: Database, line: str, interruptible: bool = False) -> str:
+    """One fault-isolated REPL step: whatever one statement does — parse
+    error, engine error, timeout, cancellation, even an unexpected crash
+    or a stray KeyboardInterrupt — is rendered as output text; only the
+    explicit quit path (EOFError) escapes. The session always survives
+    the statement."""
+    try:
+        return execute_line(db, line, interruptible=interruptible)
+    except EOFError:
+        raise
+    except QueryTimeoutError as exc:
+        partial = exc.partial
+        return (
+            f"timeout: {exc} "
+            f"({partial.get('rows', 0)} rows produced before the deadline)"
+        )
+    except QueryCancelledError as exc:
+        partial = exc.partial
+        return f"cancelled ({partial.get('rows', 0)} rows produced)"
+    except KeyboardInterrupt:
+        # A Ctrl-C that raced past the statement's SIGINT handler (e.g.
+        # between cancel-flag checks): treat it as a cancelled statement,
+        # never as a dead shell.
+        return "cancelled"
+    except ReproError as exc:
+        return f"error: {exc}"
+    except Exception as exc:  # surface, keep the session alive
+        return f"unexpected {type(exc).__name__}: {exc}"
 
 
 def check_image(path: str) -> int:
@@ -297,13 +351,9 @@ def main(argv: list[str] | None = None) -> int:
             print()
             return 0
         try:
-            output = execute_line(db, line)
+            output = repl_step(db, line, interruptible=True)
         except EOFError:
             return 0
-        except ReproError as exc:
-            output = f"error: {exc}"
-        except Exception as exc:  # surface, keep the session alive
-            output = f"unexpected {type(exc).__name__}: {exc}"
         if output:
             print(output)
 

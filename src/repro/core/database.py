@@ -31,6 +31,8 @@ from repro.core.integrity import IntegrityChecker, IntegrityReport
 from repro.errors import (
     CatalogError,
     CorruptImageError,
+    CorruptPageError,
+    IndexError_,
     IntegrityError,
     QueryError,
     SummaryError,
@@ -58,6 +60,13 @@ from repro.query.ast import (
 )
 from repro.query.parser import parse_sql
 from repro.query.result import ResultSet
+from repro.resilience import (
+    AccessPathHealth,
+    CircuitBreaker,
+    DiskGuard,
+    ExecutionContext,
+    RetryPolicy,
+)
 from repro.storage.buffer import BufferPool
 from repro.storage.disk import DiskManager, IOStats
 from repro.storage.record import ValueType
@@ -72,6 +81,44 @@ _TYPE_KEYWORDS = {
     "text": ValueType.TEXT,
     "bool": ValueType.BOOL,
 }
+
+
+def _env_fault_disk(metrics) -> "DiskManager | None":
+    """A seeded transient-fault disk when ``REPRO_FAULT_INJECT=transient``.
+
+    This is the whole-suite soak knob: with it set, every Database built
+    without an explicit ``disk`` argument runs over a device that throws a
+    :class:`~repro.errors.TransientIOError` on a seeded periodic schedule
+    (``REPRO_FAULT_SEED``, ``REPRO_FAULT_PERIOD``) — and the retry layer
+    must absorb every one of them transparently. The period is clamped to
+    ≥2 so the retry that follows each injected fault (the next read index)
+    can never land on the schedule again.
+    """
+    kind = os.environ.get("REPRO_FAULT_INJECT", "").strip().lower()
+    if kind != "transient":
+        return None
+    from repro.faults.disk import FaultyDiskManager
+    from repro.faults.plan import FaultPlan
+
+    seed = int(os.environ.get("REPRO_FAULT_SEED", "0"))
+    period = max(2, int(os.environ.get("REPRO_FAULT_PERIOD", "97")))
+    plan = FaultPlan(seed=seed).transient_read(
+        at=seed % period, period=period
+    )
+    return FaultyDiskManager(plan=plan, metrics=metrics)
+
+
+def _env_retry_policy() -> RetryPolicy:
+    attempts = int(os.environ.get("REPRO_RETRY_ATTEMPTS", "3"))
+    base_delay = float(os.environ.get("REPRO_RETRY_BASE_DELAY", "0.001"))
+    return RetryPolicy(
+        max_attempts=max(1, attempts), base_delay=max(0.0, base_delay)
+    )
+
+
+def _env_timeout() -> float | None:
+    raw = os.environ.get("REPRO_STATEMENT_TIMEOUT", "").strip()
+    return float(raw) if raw else None
 
 
 def _logged_ddl(fn):
@@ -114,6 +161,9 @@ class QueryReport:
     analyzed: str | None = None
     execution: dict = field(default_factory=dict)
     result: "ResultSet | None" = None
+    #: quarantined access paths the planner excluded, as
+    #: ``(kind, table, instance)`` — non-empty means this is a degraded plan.
+    degraded: list = field(default_factory=list)
 
     def __str__(self) -> str:
         text = (
@@ -121,6 +171,12 @@ class QueryReport:
             f"-- logical --\n{self.logical}\n"
             f"-- physical --\n{self.physical}"
         )
+        if self.degraded:
+            paths = ", ".join(
+                f"{kind} {table}.{instance}"
+                for kind, table, instance in self.degraded
+            )
+            text += f"\nDegraded: excluded unhealthy paths [{paths}]"
         if self.analyzed is not None:
             text += f"\n-- analyze --\n{self.analyzed}"
             ex = self.execution
@@ -145,10 +201,23 @@ class Database:
         disk: DiskManager | None = None,
         cache_bytes: int | None = None,
     ):
-        self.disk = disk if disk is not None else DiskManager()
-        self.pool = BufferPool(self.disk, capacity=buffer_pages)
-        self.catalog = Catalog(self.pool)
+        # Metrics first: the resilience layer and (under REPRO_FAULT_INJECT)
+        # the fault-injecting disk both count through the registry.
         self.metrics = MetricsRegistry()
+        if disk is None:
+            disk = _env_fault_disk(self.metrics) or DiskManager()
+        self.disk = disk
+        self.pool = BufferPool(self.disk, capacity=buffer_pages)
+        #: degraded-mode planning registry (quarantined access paths).
+        self.health = AccessPathHealth(metrics=self.metrics)
+        #: retry + circuit-breaker guard over every pool<->disk page I/O.
+        self.guard = DiskGuard(
+            policy=_env_retry_policy(),
+            breaker=CircuitBreaker(metrics=self.metrics),
+            metrics=self.metrics,
+        )
+        self.pool.guard = self.guard
+        self.catalog = Catalog(self.pool)
         #: ``cache_bytes`` sizes the summary-set cache (None reads the
         #: REPRO_CACHE_BYTES env var; 0 disables it).
         self.manager = SummaryManager(
@@ -173,6 +242,13 @@ class Database:
         self._wal_replaying = False
         #: monotonically increasing statement id carried by WAL records.
         self._stmt_counter = 0
+        #: default statement deadline in seconds (None = no deadline);
+        #: seeded from REPRO_STATEMENT_TIMEOUT, overridable per call and
+        #: from the REPL's ``\timeout`` command.
+        self.statement_timeout = _env_timeout()
+        #: ExecutionContext of the statement currently running through
+        #: :meth:`execute`; what :meth:`cancel_running` cancels.
+        self._exec_ctx: ExecutionContext | None = None
 
     # -- write-ahead logging ---------------------------------------------------------
 
@@ -268,6 +344,8 @@ class Database:
         state["wal"] = None
         state["_wal_depth"] = 0
         state["_wal_replaying"] = False
+        # The running statement belongs to the running process.
+        state["_exec_ctx"] = None
         return state
 
     def __setstate__(self, state: dict) -> None:
@@ -278,7 +356,19 @@ class Database:
         state.setdefault("_wal_depth", 0)
         state.setdefault("_wal_replaying", False)
         state.setdefault("_stmt_counter", 0)
+        # … and images before the resilience era lack these.
+        state.setdefault("statement_timeout", None)
+        state["_exec_ctx"] = None
         self.__dict__.update(state)
+        if "health" not in state:
+            self.health = AccessPathHealth(metrics=self.metrics)
+        if "guard" not in state:
+            self.guard = DiskGuard(
+                policy=_env_retry_policy(),
+                breaker=CircuitBreaker(metrics=self.metrics),
+                metrics=self.metrics,
+            )
+            self.pool.guard = self.guard
 
     # -- planner --------------------------------------------------------------------
 
@@ -293,6 +383,7 @@ class Database:
             self.options,
             self.normalized_replicas,
             self.keyword_indexes,
+            health=self.health,
         )
 
     # -- DDL ------------------------------------------------------------------------
@@ -527,6 +618,13 @@ class Database:
         :class:`~repro.errors.IntegrityError` instead of being returned.
         """
         report = IntegrityChecker(self).run()
+        # Feed degraded-mode planning: every derived access path a
+        # violation names is quarantined until a converged repair
+        # (RepairManager.run -> health.restore_all) rebuilds it.
+        for kind, table, instance in report.unhealthy_paths():
+            self.health.quarantine(
+                kind, table, instance, reason="integrity violation"
+            )
         if raise_on_error and not report.ok:
             raise IntegrityError(str(report))
         return report
@@ -700,6 +798,13 @@ class Database:
             snap["cache.capacity_bytes"] = cache.capacity_bytes
             snap["cache.used_bytes"] = cache.used_bytes
             snap["cache.entries"] = len(cache)
+        guard = getattr(self, "guard", None)
+        if guard is not None and guard.breaker is not None:
+            # Gauge (0=closed, 1=half-open, 2=open), not a counter.
+            snap["resilience.breaker_state"] = guard.breaker.state_code
+        health = getattr(self, "health", None)
+        if health is not None:
+            snap["resilience.unhealthy_paths"] = len(health)
         return snap
 
     def reset_metrics(self) -> None:
@@ -720,6 +825,59 @@ class Database:
                 index.probes = 0
 
     # -- queries ------------------------------------------------------------------------------------
+
+    def execute(self, query: str, timeout: float | None = None,
+                interruptible: bool = False):
+        """Execute one SQL statement under a resilience
+        :class:`~repro.resilience.context.ExecutionContext`.
+
+        Same surface as :meth:`sql`, plus a deadline and cooperative
+        cancellation: ``timeout`` (seconds; defaults to
+        ``self.statement_timeout``) raises
+        :class:`~repro.errors.QueryTimeoutError` at the next operator
+        batch boundary once the deadline passes, and
+        :meth:`cancel_running` (or, with ``interruptible=True``, a SIGINT)
+        raises :class:`~repro.errors.QueryCancelledError` — the statement
+        dies, the session survives. Both errors carry the partial progress
+        made (``exc.partial``).
+        """
+        import signal
+
+        effective = timeout if timeout is not None else self.statement_timeout
+        ctx = ExecutionContext(timeout=effective, metrics=self.metrics)
+        self._exec_ctx = ctx
+        previous_handler = None
+        installed = False
+        if interruptible:
+            try:
+                previous_handler = signal.signal(
+                    signal.SIGINT, lambda signum, frame: ctx.cancel()
+                )
+                installed = True
+            except ValueError:
+                pass  # not the main thread: Ctrl-C handling unavailable
+        try:
+            return self.sql(query)
+        finally:
+            if installed:
+                signal.signal(signal.SIGINT, previous_handler)
+            self._exec_ctx = None
+
+    def cancel_running(self) -> bool:
+        """Request cancellation of the statement currently inside
+        :meth:`execute`; returns False when nothing is running. The
+        statement observes the flag at its next batch boundary."""
+        ctx = self._exec_ctx
+        if ctx is None:
+            return False
+        ctx.cancel()
+        return True
+
+    def _attach_runtime(self, physical) -> None:
+        """Thread the active statement's ExecutionContext (deadline +
+        cancel flag) through a lowered plan's operators."""
+        if self._exec_ctx is not None:
+            self._exec_ctx.attach(physical)
 
     def sql(self, query: str):
         """Execute one SQL statement.
@@ -773,6 +931,7 @@ class Database:
             where=where,
         )
         physical, _logical, _cost = self.planner.plan(select)
+        self._attach_runtime(physical)
         return [
             t.provenance[alias][1] for t in physical.rows()
         ]
@@ -796,6 +955,7 @@ class Database:
             where=stmt.where,
         )
         physical, _logical, _cost = self.planner.plan(select)
+        self._attach_runtime(physical)
         table = self.catalog.table(stmt.table)
         ctx = EvalContext(manager=self.manager, udfs=self.manager.udfs)
         updates: list[tuple[int, dict]] = []
@@ -838,11 +998,15 @@ class Database:
         return self._execute_explain(stmt)
 
     def _execute_explain(self, stmt: ExplainStmt) -> QueryReport:
-        physical, logical, cost = self.planner.plan(stmt)
-        report = QueryReport(logical.pretty(), physical.explain(), cost)
+        planner = self.planner
+        physical, logical, cost = planner.plan(stmt)
+        degraded = sorted(planner.excluded)
+        report = QueryReport(logical.pretty(), physical.explain(), cost,
+                             degraded=degraded)
         if not stmt.analyze:
             return report
-        result = self._run_physical(stmt.query, physical, cost, profile=True)
+        result = self._run_physical(stmt.query, physical, cost, profile=True,
+                                    degraded=degraded)
         report.analyzed = result.stats["plan_analyzed"]
         report.execution = {
             key: value
@@ -853,9 +1017,55 @@ class Database:
         report.result = result
         return report
 
-    def _execute_select(self, stmt: SelectStmt) -> ResultSet:
-        physical, logical, cost = self.planner.plan(stmt)
-        return self._run_physical(stmt, physical, cost)
+    def _execute_select(self, stmt: SelectStmt,
+                        _retrying: bool = False) -> ResultSet:
+        planner = self.planner
+        physical, logical, cost = planner.plan(stmt)
+        try:
+            return self._run_physical(
+                stmt, physical, cost, degraded=sorted(planner.excluded)
+            )
+        except (CorruptPageError, IndexError_) as exc:
+            # Mid-query corruption inside a derived access path: quarantine
+            # every index path the dying plan used and retry the statement
+            # once — the re-plan falls back to heap scans, which read only
+            # the authoritative data (the repair contract). A plan with no
+            # index paths, or a second failure, propagates: the corruption
+            # is not in a structure planning can route around.
+            quarantined = self._quarantine_plan_paths(physical, str(exc))
+            if _retrying or not quarantined:
+                raise
+            self.metrics.inc("resilience.statement_retries")
+            return self._execute_select(stmt, _retrying=True)
+
+    def _quarantine_plan_paths(self, physical, reason: str) -> list[tuple]:
+        """Quarantine every derived access path a physical plan touches;
+        returns the freshly quarantined ``(kind, table, instance)`` keys."""
+        from repro.query.physical import (
+            BaselineIndexScan,
+            KeywordIndexScan,
+            SummaryIndexNestedLoopJoin,
+            SummaryIndexScan,
+        )
+
+        quarantined: list[tuple] = []
+        stack = [physical]
+        while stack:
+            op = stack.pop()
+            stack.extend(op.children)
+            if isinstance(op, SummaryIndexScan):
+                key = ("summary", op.table, op.instance)
+            elif isinstance(op, BaselineIndexScan):
+                key = ("baseline", op.table, op.instance)
+            elif isinstance(op, KeywordIndexScan):
+                key = ("keyword", op.table, op.instance)
+            elif isinstance(op, SummaryIndexNestedLoopJoin):
+                key = ("summary", op.inner_table, op.instance)
+            else:
+                continue
+            if self.health.quarantine(*key, reason=reason):
+                quarantined.append(key)
+        return quarantined
 
     def _run_physical(
         self,
@@ -863,9 +1073,13 @@ class Database:
         physical,
         cost: float,
         profile: bool = False,
+        degraded: list | tuple = (),
     ) -> ResultSet:
         """Execute a lowered plan, capturing run totals (and, when
         ``profile`` is set, the per-operator EXPLAIN ANALYZE counters)."""
+        self._attach_runtime(physical)
+        if degraded:
+            self.metrics.inc("resilience.degraded_plans")
         profiler = None
         metrics_before: dict[str, float] | None = None
         if profile:
@@ -889,6 +1103,7 @@ class Database:
             "pages": self.pool.hits + self.pool.misses - pages_before,
             "estimated_cost": cost,
             "plan": physical.explain(),
+            "degraded_paths": list(degraded),
         }
         if profiler is not None:
             stats["plan_analyzed"] = profiler.render()

@@ -75,6 +75,33 @@ class IntegrityReport:
         lines.extend(str(v) for v in self.violations)
         return "\n".join(lines)
 
+    #: location prefix -> access-path kind (repro.resilience.health).
+    _PATH_PREFIXES = (
+        ("summary index ", "summary"),
+        ("baseline index ", "baseline"),
+        ("keyword index ", "keyword"),
+        ("replica ", "replica"),
+    )
+
+    def unhealthy_paths(self) -> list[tuple[str, str, str]]:
+        """Derived access paths named by violations, as
+        ``(kind, table, instance)`` health-registry keys.
+
+        Violations against heaps, tables, or the annotation store are not
+        access paths and are excluded — the planner cannot route around
+        the authoritative data.
+        """
+        paths: set[tuple[str, str, str]] = set()
+        for violation in self.violations:
+            for prefix, kind in self._PATH_PREFIXES:
+                if violation.location.startswith(prefix):
+                    name = violation.location[len(prefix):].split()[0]
+                    table, _, instance = name.partition(".")
+                    if instance:
+                        paths.add((kind, table.lower(), instance))
+                    break
+        return sorted(paths)
+
 
 class IntegrityChecker:
     """Runs every integrity check against one live Database."""
@@ -108,8 +135,14 @@ class IntegrityChecker:
         that are still all zeroes on disk were never written back and carry
         no checksum yet.
         """
+        guard = getattr(self.db.pool, "guard", None)
         for page_id in sorted(self.db.pool.protected_pages):
-            data = self.db.disk.read_page(page_id)
+            if guard is None:
+                data = self.db.disk.read_page(page_id)
+            else:
+                # Retried like any pool read: a transient device error must
+                # not masquerade as corruption during an audit.
+                data = guard.read_page(self.db.disk, page_id)
             self.report.pages_checked += 1
             if not any(data):
                 continue

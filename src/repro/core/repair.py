@@ -123,6 +123,12 @@ class RepairManager:
             # pages under them): stale every cached summary set.
             cache.bump_all("repair")
         report.after = IntegrityChecker(self.db).run()
+        health = getattr(self.db, "health", None)
+        if health is not None and report.converged:
+            # Every derived structure was just rebuilt from the
+            # authoritative heaps and the closing audit came back clean:
+            # un-quarantine everything so the planner stops degrading.
+            health.restore_all()
         return report
 
     # -- phase 1: physical salvage -------------------------------------------
@@ -139,8 +145,14 @@ class RepairManager:
         prunes every pointer that led into it).
         """
         pool, disk = self.db.pool, self.db.disk
+        guard = getattr(pool, "guard", None)
         for page_id in sorted(pool.protected_pages):
-            data = disk.read_page(page_id)
+            if guard is None:
+                data = disk.read_page(page_id)
+            else:
+                # Retried like any pool read: a transient device error
+                # during salvage must not quarantine a healthy page.
+                data = guard.read_page(disk, page_id)
             if not any(data) or verify_checksum(data):
                 continue
             frame = pool._frames.get(page_id)
@@ -149,7 +161,10 @@ class RepairManager:
                     pool.flush_page(page_id)
                 else:
                     stamp_checksum(frame.data)
-                    disk.write_page(page_id, frame.data)
+                    if guard is None:
+                        disk.write_page(page_id, frame.data)
+                    else:
+                        guard.write_page(disk, page_id, frame.data)
                 report.healed_pages.append(page_id)
                 report.actions.append(RepairAction(
                     f"page {page_id}", "heal-page",
@@ -158,7 +173,10 @@ class RepairManager:
             else:
                 fresh = SlottedPage(page_size=disk.page_size)
                 stamp_checksum(fresh.data)
-                disk.write_page(page_id, fresh.data)
+                if guard is None:
+                    disk.write_page(page_id, fresh.data)
+                else:
+                    guard.write_page(disk, page_id, fresh.data)
                 report.quarantined_pages.append(page_id)
                 report.actions.append(RepairAction(
                     f"page {page_id}", "quarantine-page",

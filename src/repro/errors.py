@@ -46,6 +46,13 @@ class TransientIOError(InjectedFaultError):
     the disk remains usable — a retry may succeed."""
 
 
+class CircuitOpenError(StorageError):
+    """Raised by the resilience layer's circuit breaker when a device has
+    failed repeatedly and calls are being rejected fast instead of
+    hammering the dying device. The breaker re-admits a trial call after
+    its cooldown (half-open state)."""
+
+
 class IntegrityError(ReproError):
     """Raised by ``Database.check_integrity(raise_on_error=True)`` when any
     structural or cross-structure invariant is violated."""
@@ -97,6 +104,28 @@ class BindError(QueryError):
 
 class PlanError(QueryError):
     """Raised when the optimizer cannot produce a physical plan."""
+
+
+class QueryTimeoutError(QueryError):
+    """Raised when a statement exceeds its deadline.
+
+    Carries the partial progress made before the deadline fired in
+    ``partial`` (rows produced so far, elapsed seconds, checkpoint count).
+    """
+
+    def __init__(self, message: str, partial: dict | None = None):
+        super().__init__(message)
+        self.partial = partial or {}
+
+
+class QueryCancelledError(QueryError):
+    """Raised when a statement is cooperatively cancelled (REPL Ctrl-C,
+    :meth:`ExecutionContext.cancel`). Carries partial progress like
+    :class:`QueryTimeoutError`."""
+
+    def __init__(self, message: str, partial: dict | None = None):
+        super().__init__(message)
+        self.partial = partial or {}
 
 
 class CorruptImageError(StorageError, QueryError):

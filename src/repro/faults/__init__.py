@@ -21,7 +21,12 @@ checksums verified at buffer-pool read time, and
 ``repro.core.integrity``).
 """
 
-from repro.faults.disk import FaultyDiskManager, install_faults, remove_faults
+from repro.faults.disk import (
+    FaultyDiskManager,
+    install_faults,
+    installed_faults,
+    remove_faults,
+)
 from repro.faults.plan import Fault, FaultKind, FaultPlan
 
 __all__ = [
@@ -30,5 +35,6 @@ __all__ = [
     "FaultPlan",
     "FaultyDiskManager",
     "install_faults",
+    "installed_faults",
     "remove_faults",
 ]

@@ -23,6 +23,7 @@ Every injected fault is counted in the engine's
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 
 from repro.errors import InjectedFaultError, TransientIOError
@@ -69,7 +70,7 @@ class FaultyDiskManager(DiskManager):
         self._check(page_id)
         index = self.read_ops
         self.read_ops += 1
-        fault = self.plan.match("read", index)
+        fault = self.plan.consume("read", index)
         if fault is None:
             return super().read_page(page_id)
         self._record(fault, "read", index, page_id)
@@ -92,7 +93,7 @@ class FaultyDiskManager(DiskManager):
         self._check(page_id)
         index = self.write_ops
         self.write_ops += 1
-        fault = self.plan.match("write", index)
+        fault = self.plan.consume("write", index)
         if fault is None:
             super().write_page(page_id, data)
             return
@@ -127,12 +128,29 @@ class FaultyDiskManager(DiskManager):
         super().write_page(page_id, corrupted)
 
 
+def _reset_breaker(db) -> None:
+    """Close the resilience circuit breaker across a device swap.
+
+    Installing or removing a faulty manager replaces the *device*; failure
+    counts accumulated against the previous device must not leak onto the
+    new one (an open breaker would fast-fail a perfectly healthy disk).
+    """
+    guard = getattr(getattr(db, "pool", None), "guard", None)
+    if guard is not None and guard.breaker is not None:
+        guard.breaker.reset()
+
+
 def install_faults(db, plan: FaultPlan) -> FaultyDiskManager:
     """Swap a :class:`FaultyDiskManager` in underneath a live database.
 
     The faulty manager adopts the existing disk's pages, free list, and
     I/O counters, so installed faults change *behaviour* only — never
     state. Injected faults are counted through ``db.metrics``.
+
+    The swap is exception-safe: the faulty manager is fully constructed
+    and state-adopted *before* either reference is redirected, and the two
+    references (``db.disk`` and ``db.pool.disk``) are assigned together,
+    so no failure can leave the database half-swapped.
     """
     faulty = FaultyDiskManager(
         page_size=db.disk.page_size, plan=plan, metrics=db.metrics
@@ -140,16 +158,39 @@ def install_faults(db, plan: FaultPlan) -> FaultyDiskManager:
     faulty.stats = db.disk.stats
     faulty._pages = db.disk._pages
     faulty._free = db.disk._free
+    # Point of no return: plain attribute assignments, which cannot raise.
     db.disk = faulty
     db.pool.disk = faulty
+    _reset_breaker(db)
     return faulty
 
 
 def remove_faults(db) -> None:
-    """Restore a plain :class:`DiskManager` over the same on-disk state."""
+    """Restore a plain :class:`DiskManager` over the same on-disk state.
+
+    Idempotent: removing when no faulty manager is installed re-aligns
+    ``db.pool.disk`` with ``db.disk`` and returns — so cleanup paths may
+    call it unconditionally.
+    """
+    if not isinstance(db.disk, FaultyDiskManager):
+        db.pool.disk = db.disk
+        return
     plain = DiskManager(page_size=db.disk.page_size)
     plain.stats = db.disk.stats
     plain._pages = db.disk._pages
     plain._free = db.disk._free
     db.disk = plain
     db.pool.disk = plain
+    _reset_breaker(db)
+
+
+@contextmanager
+def installed_faults(db, plan: FaultPlan):
+    """Scoped fault installation: the real disk manager is restored on the
+    way out *no matter how the body exits* — a raised injected fault can
+    never leave the database permanently detached from a working disk."""
+    faulty = install_faults(db, plan)
+    try:
+        yield faulty
+    finally:
+        remove_faults(db)

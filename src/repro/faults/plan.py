@@ -60,6 +60,11 @@ class Fault:
     #: Torn writes: whether the disk fail-stops after the partial write
     #: (crash semantics). False models silent firmware-level tearing.
     crash: bool = True
+    #: Firing budget: total times this fault may fire (None = unlimited).
+    #: Consumed through :meth:`FaultPlan.consume` — the decrement happens
+    #: *before* the caller raises, so a raised fault can never be
+    #: re-counted against the budget (exception safety).
+    times: int | None = None
 
     def __post_init__(self) -> None:
         if self.kind not in FaultKind.ALL:
@@ -76,6 +81,8 @@ class Fault:
             )
         if self.at < 0 or (self.period is not None and self.period < 1):
             raise StorageError(f"bad fault schedule: at={self.at} period={self.period}")
+        if self.times is not None and self.times < 1:
+            raise StorageError(f"bad fault budget: times={self.times}")
 
     def fires_at(self, index: int) -> bool:
         if index == self.at:
@@ -92,6 +99,9 @@ class FaultPlan:
         self.seed = seed
         self.rng = random.Random(seed)
         self.faults: list[Fault] = []
+        #: remaining firing budget per fault position (populated lazily for
+        #: faults scheduled with ``times=``; Fault itself is frozen).
+        self._budget: dict[int, int] = {}
 
     def schedule(self, fault: Fault) -> "FaultPlan":
         self.faults.append(fault)
@@ -107,12 +117,19 @@ class FaultPlan:
         """Fail-stop on the ``at``-th write (0-based)."""
         return self.schedule(Fault(FaultKind.FAIL_STOP, "write", at))
 
-    def transient_read(self, at: int, period: int | None = None) -> "FaultPlan":
-        """Transient error on the ``at``-th read, recurring every ``period``."""
-        return self.schedule(Fault(FaultKind.TRANSIENT, "read", at, period))
+    def transient_read(self, at: int, period: int | None = None,
+                       times: int | None = None) -> "FaultPlan":
+        """Transient error on the ``at``-th read, recurring every ``period``;
+        ``times`` caps the total number of firings."""
+        return self.schedule(
+            Fault(FaultKind.TRANSIENT, "read", at, period, times=times)
+        )
 
-    def transient_write(self, at: int, period: int | None = None) -> "FaultPlan":
-        return self.schedule(Fault(FaultKind.TRANSIENT, "write", at, period))
+    def transient_write(self, at: int, period: int | None = None,
+                        times: int | None = None) -> "FaultPlan":
+        return self.schedule(
+            Fault(FaultKind.TRANSIENT, "write", at, period, times=times)
+        )
 
     def torn_write(
         self, at: int, torn_bytes: int | None = None, crash: bool = True
@@ -155,11 +172,43 @@ class FaultPlan:
     # -- matching -----------------------------------------------------------
 
     def match(self, op: str, index: int) -> Fault | None:
-        """First scheduled fault firing for the ``index``-th ``op``."""
+        """First scheduled fault firing for the ``index``-th ``op``.
+
+        Pure lookup: budgets (``times=``) are not consulted or decremented.
+        The injecting disk managers use :meth:`consume` instead.
+        """
         for fault in self.faults:
             if fault.op == op and fault.fires_at(index):
                 return fault
         return None
+
+    def consume(self, op: str, index: int) -> Fault | None:
+        """Like :meth:`match`, but honours and decrements firing budgets.
+
+        The budget decrement happens here — *before* the caller raises the
+        injected error — so the accounting is exception-safe: a fault that
+        fires is charged exactly once no matter how the raise propagates.
+        Exhausted faults stop matching (later scheduled faults may still
+        fire for the same operation index).
+        """
+        for position, fault in enumerate(self.faults):
+            if fault.op != op or not fault.fires_at(index):
+                continue
+            if fault.times is not None:
+                remaining = self._budget.get(position, fault.times)
+                if remaining <= 0:
+                    continue
+                self._budget[position] = remaining - 1
+            return fault
+        return None
+
+    def remaining(self, position: int) -> int | None:
+        """Remaining firing budget of the ``position``-th scheduled fault
+        (None for unbudgeted faults)."""
+        fault = self.faults[position]
+        if fault.times is None:
+            return None
+        return self._budget.get(position, fault.times)
 
     def __len__(self) -> int:
         return len(self.faults)

@@ -22,6 +22,20 @@ Naming convention used by the engine::
     faults.injected              total injected disk faults (repro.faults)
     faults.injected.<kind>       per-kind: fail_stop / transient /
                                  torn_write / bit_flip
+    resilience.retries[.<op>]    transient I/O retries (repro.resilience)
+    resilience.recovered         operations that succeeded after >=1 retry
+    resilience.failures          operations that failed past the budget
+    resilience.breaker.<state>   breaker transitions (closed/half-open/open)
+    resilience.breaker.rejected  calls fast-failed by an open breaker
+    resilience.timeouts          statements killed by their deadline
+    resilience.cancelled         statements cooperatively cancelled
+    resilience.quarantined / resilience.restored
+                                 access-path health transitions
+    resilience.degraded_plans    statements planned around unhealthy paths
+    resilience.statement_retries statements re-run after mid-query index
+                                 corruption quarantined their access paths
+    resilience.breaker_state     snapshot gauge: 0=closed 1=half-open 2=open
+    resilience.unhealthy_paths   snapshot gauge: quarantined path count
 """
 
 from __future__ import annotations

@@ -172,6 +172,7 @@ class Planner:
         options: PlannerOptions | None = None,
         normalized_replicas: dict | None = None,
         keyword_indexes: dict | None = None,
+        health=None,
     ):
         self.catalog = catalog
         self.manager = manager
@@ -182,6 +183,12 @@ class Planner:
         self.keyword_indexes = keyword_indexes or {}
         self.options = options or PlannerOptions()
         self.binder = Binder(catalog, manager)
+        #: :class:`~repro.resilience.health.AccessPathHealth`; None = every
+        #: derived access path is assumed healthy.
+        self.health = health
+        #: quarantined paths the last :meth:`plan` call skipped, as
+        #: ``(kind, table, instance)`` — what EXPLAIN reports as "degraded".
+        self.excluded: set[tuple[str, str, str]] = set()
 
     # -- public API -------------------------------------------------------------
 
@@ -195,6 +202,7 @@ class Planner:
         """
         if isinstance(stmt, ExplainStmt):
             stmt = stmt.query
+        self.excluded = set()
         logical, info = self.binder.bind(stmt)
         candidates = [logical]
         if self.options.enable_rules:
@@ -206,6 +214,16 @@ class Planner:
                 best = (lowered.op, candidate, lowered.cost)
         assert best is not None
         return best
+
+    def _path_ok(self, kind: str, table: str, instance: str) -> bool:
+        """Degraded-mode gate: False when ``(kind, table, instance)`` is
+        quarantined in the health registry, recording the exclusion so
+        callers (EXPLAIN, QueryReport) can surface why the plan fell back
+        to a heap scan."""
+        if self.health is None or self.health.is_healthy(kind, table, instance):
+            return True
+        self.excluded.add((kind, table.lower(), instance))
+        return False
 
     def exec_context(self) -> ExecContext:
         return ExecContext(
@@ -456,6 +474,8 @@ class _LowerState:
                 )
                 if index is None:
                     continue
+                if not self.planner._path_ok("keyword", table, kw.instance):
+                    continue
                 path = self._keyword_index_path(scan, kw, data_preds,
                                                 summary_preds, stats)
                 if path is not None:
@@ -543,8 +563,18 @@ class _LowerState:
         key = (scan.table.lower(), matched.instance)
         if scheme == "summary_btree":
             index = self.planner.summary_indexes.get(key)
+            if not self.planner._path_ok("summary", scan.table,
+                                         matched.instance):
+                return None
         else:
             index = self.planner.baseline_indexes.get(key)
+            if not self.planner._path_ok("baseline", scan.table,
+                                         matched.instance):
+                return None
+            if self.options.normalized_propagation and not \
+                    self.planner._path_ok("replica", scan.table,
+                                          matched.instance):
+                return None
         if index is None:
             return None
         lo, hi, lo_inc, hi_inc = matched.bounds()
@@ -639,6 +669,8 @@ class _LowerState:
         index = self.planner.summary_indexes.get((scan.table.lower(),
                                                   order.instance))
         if index is None:
+            return None
+        if not self.planner._path_ok("summary", scan.table, order.instance):
             return None
         # Only equivalent when every tuple has an indexed summary object —
         # un-annotated tuples have no index entries and would vanish.
@@ -792,6 +824,9 @@ class _LowerState:
                 (right.table.lower(), matched.instance)
             )
             if index is None:
+                continue
+            if not self.planner._path_ok("summary", right.table,
+                                         matched.instance):
                 continue
             if not self._is_indexed_leaf_label(matched.instance,
                                                matched.label):

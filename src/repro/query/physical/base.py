@@ -55,20 +55,31 @@ class PhysicalOperator:
 
     Subclasses implement :meth:`_produce`; consumers call :meth:`rows`,
     which transparently instruments the iterator when an
-    :class:`~repro.obs.profile.PlanProfiler` is attached (EXPLAIN ANALYZE).
-    The indirection keeps the operators themselves free of counting logic.
+    :class:`~repro.obs.profile.PlanProfiler` is attached (EXPLAIN ANALYZE)
+    and/or checkpoints it when an
+    :class:`~repro.resilience.context.ExecutionContext` is attached
+    (deadlines, cooperative cancellation). The indirection keeps the
+    operators themselves free of counting and checkpoint logic.
     """
 
     #: Set per-instance by PlanProfiler.attach(); None = unprofiled run.
     profiler = None
+    #: Set per-instance by ExecutionContext.attach(); None = no deadline or
+    #: cancellation checkpoints.
+    runtime = None
 
     def _produce(self) -> Iterator[QTuple]:
         raise NotImplementedError
 
     def rows(self) -> Iterator[QTuple]:
-        if self.profiler is None:
-            return self._produce()
-        return self.profiler.wrap(self, self._produce())
+        inner = self._produce()
+        if self.profiler is not None:
+            inner = self.profiler.wrap(self, inner)
+        if self.runtime is not None:
+            # Runtime checks go outermost so a checkpoint covers the
+            # profiler's bookkeeping too.
+            inner = self.runtime.wrap(self, inner)
+        return inner
 
     def __iter__(self) -> Iterator[QTuple]:
         return self.rows()

@@ -1,0 +1,40 @@
+"""Execution resilience: retry + circuit breaker, deadlines/cancellation,
+and degraded-mode planning (DESIGN.md §5e).
+
+The layer threads through the whole stack:
+
+* :class:`DiskGuard` (``pool.guard``) wraps every page I/O crossing the
+  pool↔disk boundary in a seeded bounded-backoff :class:`RetryPolicy`
+  and a per-device :class:`CircuitBreaker`;
+* :class:`ExecutionContext` carries one statement's deadline and cancel
+  flag, checked at batch boundaries in every physical operator;
+* :class:`AccessPathHealth` records quarantined derived access paths so
+  the planner degrades onto heap scans instead of failing.
+"""
+
+from repro.resilience.breaker import (
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    STATE_CODES,
+    CircuitBreaker,
+)
+from repro.resilience.context import BATCH_ROWS, ExecutionContext
+from repro.resilience.guard import DiskGuard
+from repro.resilience.health import PATH_KINDS, AccessPathHealth
+from repro.resilience.retry import RetryPolicy, is_transient
+
+__all__ = [
+    "AccessPathHealth",
+    "BATCH_ROWS",
+    "CLOSED",
+    "CircuitBreaker",
+    "DiskGuard",
+    "ExecutionContext",
+    "HALF_OPEN",
+    "OPEN",
+    "PATH_KINDS",
+    "RetryPolicy",
+    "STATE_CODES",
+    "is_transient",
+]

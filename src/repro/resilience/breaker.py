@@ -1,0 +1,111 @@
+"""Per-device circuit breaker.
+
+A :class:`CircuitBreaker` sits in front of one device (the database's disk,
+as seen through the buffer pool) and fails fast once the device has failed
+repeatedly, instead of letting every statement hammer a dying disk:
+
+* **closed** — calls pass through; consecutive *final* failures (after the
+  retry policy's budget is exhausted) are counted.
+* **open** — entered after ``failure_threshold`` consecutive failures;
+  every call is rejected immediately with a typed
+  :class:`~repro.errors.CircuitOpenError` until ``cooldown_s`` has passed.
+* **half-open** — after the cooldown one trial call is admitted; success
+  closes the breaker (counters reset), failure re-opens it for another
+  cooldown.
+
+Only *device*-class errors trip the breaker (injected fail-stop/transient
+I/O). Data corruption (:class:`~repro.errors.CorruptPageError`) is a media
+problem, not a device problem — it is surfaced to the caller but never
+counted, so a handful of rotten pages cannot take a healthy disk offline.
+
+The clock is injectable so state transitions are unit-testable without
+real sleeps.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.errors import CircuitOpenError, InjectedFaultError
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+#: numeric gauge for metrics snapshots (closed < half-open < open).
+STATE_CODES = {CLOSED: 0, HALF_OPEN: 1, OPEN: 2}
+
+
+def is_device_failure(exc: BaseException) -> bool:
+    """True for errors that indict the device itself (see module doc)."""
+    return isinstance(exc, InjectedFaultError)
+
+
+class CircuitBreaker:
+    """Closed / open / half-open breaker guarding one device."""
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        cooldown_s: float = 1.0,
+        clock=time.monotonic,
+        metrics=None,
+        device: str = "disk",
+    ):
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        self.failure_threshold = failure_threshold
+        self.cooldown_s = cooldown_s
+        self.clock = clock
+        self.metrics = metrics
+        self.device = device
+        self.state = CLOSED
+        self.failures = 0
+        self.opened_at: float | None = None
+
+    @property
+    def state_code(self) -> int:
+        return STATE_CODES[self.state]
+
+    def _transition(self, state: str) -> None:
+        if state == self.state:
+            return
+        self.state = state
+        if self.metrics is not None:
+            self.metrics.inc(f"resilience.breaker.{state}")
+
+    def before_call(self) -> None:
+        """Admit or reject the next call; called before every device op."""
+        if self.state != OPEN:
+            return
+        assert self.opened_at is not None
+        if self.clock() - self.opened_at >= self.cooldown_s:
+            self._transition(HALF_OPEN)
+            return
+        if self.metrics is not None:
+            self.metrics.inc("resilience.breaker.rejected")
+        raise CircuitOpenError(
+            f"circuit breaker for device {self.device!r} is open "
+            f"({self.failures} consecutive failures; retry after "
+            f"{self.cooldown_s}s cooldown)"
+        )
+
+    def record_success(self) -> None:
+        self.failures = 0
+        if self.state != CLOSED:
+            self._transition(CLOSED)
+
+    def record_failure(self, exc: BaseException | None = None) -> None:
+        """Count one final (post-retry) failure; may open the breaker."""
+        if exc is not None and not is_device_failure(exc):
+            return
+        self.failures += 1
+        if self.state == HALF_OPEN or self.failures >= self.failure_threshold:
+            self.opened_at = self.clock()
+            self._transition(OPEN)
+
+    def reset(self) -> None:
+        """Force-close (e.g. after the faulty device was swapped out)."""
+        self.failures = 0
+        self.opened_at = None
+        self._transition(CLOSED)

@@ -1,0 +1,92 @@
+"""The retry + breaker wrapper around device operations.
+
+A :class:`DiskGuard` is attached to the buffer pool (``pool.guard``) and
+owns one :class:`~repro.resilience.retry.RetryPolicy` and one
+:class:`~repro.resilience.breaker.CircuitBreaker`. Every page read/write
+that crosses the pool↔disk boundary runs through :meth:`call`:
+
+1. the breaker admits or fast-fails the call (open state),
+2. the operation runs; a transient failure is retried up to the policy's
+   budget with seeded exponential backoff,
+3. the breaker records the outcome — success (including a recovered
+   retry) closes/holds it closed, a final device failure counts toward
+   opening it.
+
+The guard deliberately wraps the *pool-side* of the boundary rather than
+proxying the DiskManager: ``install_faults``/``remove_faults`` swap the
+``db.disk``/``db.pool.disk`` objects underneath a live database, and a
+disk proxy would be silently detached by that swap. The pool (and the
+integrity/repair direct-read paths) call through whatever disk is current.
+
+Retried reads keep the engine's exact-I/O accounting intact: a faulted
+read raises *before* the disk counts it, so a recovered operation counts
+exactly one successful I/O — the same as a fault-free run.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.resilience.breaker import CircuitBreaker
+from repro.resilience.retry import RetryPolicy, is_transient
+
+
+class DiskGuard:
+    """Retry + circuit-breaker wrapper for device operations."""
+
+    def __init__(
+        self,
+        policy: RetryPolicy | None = None,
+        breaker: CircuitBreaker | None = None,
+        metrics=None,
+        sleep=time.sleep,
+    ):
+        self.policy = policy or RetryPolicy()
+        self.breaker = breaker or CircuitBreaker(metrics=metrics)
+        self.metrics = metrics
+        self.sleep = sleep
+
+    def call(self, op: str, fn, also_transient: tuple = ()):
+        """Run ``fn`` under the breaker and the retry budget.
+
+        ``op`` labels the operation for metrics (``read``/``write``).
+        ``also_transient`` extends the retryable classification for calls
+        whose retry genuinely re-fetches (the pool's verified read treats
+        :class:`~repro.errors.CorruptPageError` as retryable, since a
+        re-read heals transient rot).
+        """
+        self.breaker.before_call()
+        attempt = 1
+        while True:
+            try:
+                result = fn()
+            except Exception as exc:
+                if (
+                    attempt < self.policy.max_attempts
+                    and is_transient(exc, also=also_transient)
+                ):
+                    if self.metrics is not None:
+                        self.metrics.inc("resilience.retries")
+                        self.metrics.inc(f"resilience.retries.{op}")
+                    delay = self.policy.delay(attempt)
+                    if delay > 0:
+                        self.sleep(delay)
+                    attempt += 1
+                    continue
+                self.breaker.record_failure(exc)
+                if self.metrics is not None:
+                    self.metrics.inc("resilience.failures")
+                raise
+            else:
+                self.breaker.record_success()
+                if attempt > 1 and self.metrics is not None:
+                    self.metrics.inc("resilience.recovered")
+                return result
+
+    # -- convenience wrappers (integrity / repair direct device access) ------
+
+    def read_page(self, disk, page_id: int):
+        return self.call("read", lambda: disk.read_page(page_id))
+
+    def write_page(self, disk, page_id: int, data) -> None:
+        self.call("write", lambda: disk.write_page(page_id, data))

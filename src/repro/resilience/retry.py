@@ -1,0 +1,73 @@
+"""Transient-error classification and the bounded retry policy.
+
+The resilience layer splits storage read/write errors into two classes:
+
+* **transient** — :class:`~repro.errors.TransientIOError` (the fault
+  layer's retryable class). The operation failed but the device is
+  usable; an immediate retry may succeed.
+* **permanent** — everything else: fail-stop
+  :class:`~repro.errors.InjectedFaultError` (the disk is dead),
+  unallocated-page :class:`~repro.errors.StorageError`, and — for plain
+  device calls — :class:`~repro.errors.CorruptPageError` (the data rotted;
+  retrying the same bytes cannot help).
+
+One refinement: the buffer pool's *verified read* (read + CRC check as a
+unit) re-fetches from disk on every attempt, so for that call a checksum
+failure IS worth retrying — bit rot injected on the read path corrupts only
+the returned copy, and a re-read heals it. Persistent on-disk rot still
+fails every attempt and surfaces after the budget. Callers opt in via the
+``also`` argument of :func:`is_transient` / :meth:`DiskGuard.call`.
+
+:class:`RetryPolicy` is seeded and bounded: delays grow exponentially from
+``base_delay`` up to ``max_delay`` with a seeded jitter term, so a retry
+schedule is reproducible from (policy parameters, seed) alone.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.errors import TransientIOError
+
+
+def is_transient(exc: BaseException, also: tuple = ()) -> bool:
+    """True when ``exc`` is worth retrying (see module docstring)."""
+    if isinstance(exc, TransientIOError):
+        return True
+    return bool(also) and isinstance(exc, also)
+
+
+@dataclass
+class RetryPolicy:
+    """Seeded, bounded exponential-backoff retry schedule.
+
+    ``max_attempts`` counts *total* attempts (1 = no retries). ``delay(n)``
+    is the sleep before retry ``n`` (1-based):
+    ``min(base_delay * 2**(n-1), max_delay) + jitter * rng.random()``.
+    With ``base_delay == 0`` and ``jitter == 0`` retries are immediate —
+    the test/CI configuration.
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 0.001
+    jitter: float = 0.0
+    max_delay: float = 0.05
+    seed: int = 0
+    rng: random.Random = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        self.rng = random.Random(self.seed)
+
+    def delay(self, attempt: int) -> float:
+        """Backoff before the ``attempt``-th retry (1-based)."""
+        backoff = min(self.base_delay * (2 ** (attempt - 1)), self.max_delay)
+        if self.jitter:
+            backoff += self.jitter * self.rng.random()
+        return backoff
+
+    def delays(self) -> list[float]:
+        """The full retry-delay schedule (``max_attempts - 1`` entries)."""
+        return [self.delay(n) for n in range(1, self.max_attempts)]

@@ -56,6 +56,11 @@ class BufferPool:
         self.wal = None
         #: dirty-page LSNs: page id -> WAL append position when last dirtied.
         self._page_lsns: dict[int, int] = {}
+        #: attached :class:`~repro.resilience.guard.DiskGuard`; None = raw
+        #: device calls (no retry, no breaker). Lives on the pool, not as a
+        #: disk proxy, so install_faults/remove_faults swapping ``disk``
+        #: underneath cannot detach it.
+        self.guard = None
 
     # -- WAL ordering ---------------------------------------------------------
 
@@ -78,7 +83,12 @@ class BufferPool:
                 self.wal.flush(lsn)
         if page_id in self._protected:
             stamp_checksum(frame.data)
-        self.disk.write_page(page_id, frame.data)
+        if self.guard is None:
+            self.disk.write_page(page_id, frame.data)
+        else:
+            self.guard.call(
+                "write", lambda: self.disk.write_page(page_id, frame.data)
+            )
         frame.dirty = False
         self._page_lsns.pop(page_id, None)
 
@@ -87,15 +97,18 @@ class BufferPool:
     def __getstate__(self) -> dict:
         # The WAL writer belongs to the crashed process, not the image:
         # a loaded pool starts detached (Database.attach_wal re-attaches).
+        # The guard travels with the image — a database restored under an
+        # injecting environment must keep retrying.
         state = self.__dict__.copy()
         state["wal"] = None
         state["_page_lsns"] = {}
         return state
 
     def __setstate__(self, state: dict) -> None:
-        # Images written before the WAL era lack the new attributes.
+        # Images written before the WAL/resilience eras lack the attributes.
         state.setdefault("wal", None)
         state.setdefault("_page_lsns", {})
+        state.setdefault("guard", None)
         self.__dict__.update(state)
 
     # -- checksums ------------------------------------------------------------
@@ -125,6 +138,13 @@ class BufferPool:
                 f"page {page_id} failed its checksum on read "
                 "(torn write or bit corruption)"
             )
+
+    def _read_verified(self, page_id: int) -> bytearray:
+        """One miss read + checksum verification, as a unit."""
+        data = self.disk.read_page(page_id)
+        if page_id in self._protected:
+            self._verify(page_id, data)
+        return data
 
     # -- page lifecycle -------------------------------------------------------
 
@@ -156,9 +176,18 @@ class BufferPool:
             self._frames.move_to_end(page_id)
             return frame.data
         self.misses += 1
-        data = self.disk.read_page(page_id)
-        if page_id in self._protected:
-            self._verify(page_id, data)
+        if self.guard is None:
+            data = self._read_verified(page_id)
+        else:
+            # Read + verify retried as a unit: every attempt re-fetches
+            # from disk, so transient rot (a corrupted returned copy) heals
+            # on retry while persistent rot fails every attempt and still
+            # surfaces as CorruptPageError after the budget.
+            data = self.guard.call(
+                "read",
+                lambda: self._read_verified(page_id),
+                also_transient=(CorruptPageError,),
+            )
         self._make_room()
         self._frames[page_id] = _Frame(data)
         return data

@@ -171,9 +171,14 @@ class TestInstallRemove:
         faulty = install_faults(db, FaultPlan().transient_read(at=0))
         assert db.disk is faulty and db.pool.disk is faulty
         db.pool.clear()
-        with pytest.raises(TransientIOError):
-            db.sql("SELECT t.v FROM t WHERE t.v = 150")
+        # The resilience layer absorbs the transient fault transparently:
+        # the query succeeds, the injection is counted, and the retry is
+        # visible in the resilience counters.
+        rows = db.sql("SELECT t.v FROM t WHERE t.v = 150")
+        assert len(rows) == 1
         assert db.metrics.get("faults.injected") == 1
+        assert db.metrics.get("resilience.retries") == 1
+        assert db.metrics.get("resilience.recovered") == 1
         remove_faults(db)
         assert not isinstance(db.disk, FaultyDiskManager)
         rows = db.sql("SELECT t.v FROM t WHERE t.v = 150")
@@ -246,3 +251,68 @@ class TestBufferPoolUnderFaults:
             pool.get_page(pages[2])
         assert pages[0] in pool._frames
         assert pool._frames[pages[0]].dirty
+
+
+class TestBudgetAndSwapExceptionSafety:
+    """Satellite regressions: the ``times=`` budget must be charged exactly
+    once per firing even though the fault is delivered by raising, and the
+    install/remove device swap must never strand the database without a
+    working disk."""
+
+    def test_budget_charged_once_despite_raise(self):
+        plan = FaultPlan().transient_read(at=0, period=1, times=1)
+        disk = make_disk(plan)
+        with pytest.raises(TransientIOError):
+            disk.read_page(0)
+        assert plan.remaining(0) == 0
+        # The budget is spent: the periodic fault no longer fires.
+        assert disk.read_page(0) == bytearray([1]) * 256
+        assert plan.remaining(0) == 0
+
+    def test_match_is_pure_consume_decrements(self):
+        plan = FaultPlan().transient_read(at=0, period=1, times=2)
+        assert plan.match("read", 0) is not None
+        assert plan.match("read", 0) is not None
+        assert plan.remaining(0) == 2  # match never touches the budget
+        assert plan.consume("read", 0) is not None
+        assert plan.remaining(0) == 1
+        assert plan.consume("read", 0) is not None
+        assert plan.remaining(0) == 0
+        assert plan.consume("read", 0) is None  # exhausted: stops matching
+
+    def test_budget_validation(self):
+        with pytest.raises(StorageError):
+            FaultPlan().transient_read(at=0, times=0)
+
+    def test_installed_faults_restores_after_raised_fail_stop(self):
+        from repro.core.database import Database
+        from repro.catalog.schema import Column
+        from repro.faults import installed_faults
+        from repro.storage.record import ValueType
+
+        db = Database(buffer_pages=8)
+        db.create_table("t", [Column("v", ValueType.INT)])
+        for i in range(200):
+            db.insert("t", [i])
+        with pytest.raises(InjectedFaultError):
+            with installed_faults(db, FaultPlan().fail_read(at=0)):
+                db.pool.clear()
+                db.sql("SELECT t.v FROM t WHERE t.v = 150")
+        # The raised fault exited the context; the plain manager is back
+        # and both references point at the same object.
+        assert not isinstance(db.disk, FaultyDiskManager)
+        assert db.pool.disk is db.disk
+        assert len(db.sql("SELECT t.v FROM t WHERE t.v = 150")) == 1
+        assert db.check_integrity().ok
+
+    def test_remove_faults_is_idempotent(self):
+        from repro.core.database import Database
+
+        db = Database(buffer_pages=8)
+        remove_faults(db)  # nothing installed: must be a no-op
+        assert db.pool.disk is db.disk
+        install_faults(db, FaultPlan())
+        remove_faults(db)
+        remove_faults(db)  # second removal: still aligned, still plain
+        assert not isinstance(db.disk, FaultyDiskManager)
+        assert db.pool.disk is db.disk

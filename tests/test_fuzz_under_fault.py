@@ -18,7 +18,12 @@ hypothesis = pytest.importorskip("hypothesis")
 from hypothesis import given, settings, strategies as st  # noqa: E402
 
 from repro.errors import StorageError  # noqa: E402
-from repro.faults import FaultPlan, install_faults, remove_faults  # noqa: E402
+from repro.faults import (  # noqa: E402
+    FaultPlan,
+    install_faults,
+    installed_faults,
+    remove_faults,
+)
 from repro.workload.generator import WorkloadConfig, build_database  # noqa: E402
 
 LABELS = ["Disease", "Anatomy", "Behavior", "Other"]
@@ -108,3 +113,37 @@ class TestFuzzUnderFault:
         finally:
             remove_faults(db)
         assert run(db, sql) == reference
+
+
+class TestTransparentRecovery:
+    """With the resilience layer in place, the fail-safe property has a
+    stronger sibling: a transient-only schedule whose firings each leave a
+    clean retry slot (``period`` None or >= 2 — a retry advances the read
+    index by one, which such schedules never fault twice in a row) must
+    now produce *exactly* the fault-free result, transparently, with every
+    injection matched by a counted, recovered retry."""
+
+    @given(
+        preds=predicates,
+        first=st.integers(min_value=0, max_value=40),
+        period=st.one_of(st.none(), st.integers(min_value=2, max_value=13)),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_transient_within_budget_recovers_transparently(
+        self, db, preds, first, period
+    ):
+        db.guard.policy.base_delay = 0  # immediate retries: no test sleeps
+        sql = build_query(preds)
+        reference = run(db, sql)
+        before = db.metrics.snapshot()
+        with installed_faults(
+            db, FaultPlan(seed=first).transient_read(at=first, period=period)
+        ):
+            db.pool.clear()  # cold cache: the query must actually read
+            got = run(db, sql)  # no StorageError escape hatch anymore
+        delta = db.metrics.delta(db.metrics.snapshot(), before)
+        assert got == reference, sql
+        injected = delta.get("faults.injected", 0)
+        assert delta.get("resilience.retries", 0) == injected
+        assert delta.get("resilience.recovered", 0) == injected
+        assert delta.get("resilience.failures", 0) == 0

@@ -183,9 +183,11 @@ class TestPhysicalDamage:
         db.pool.flush_all()
         victim = sorted(db.pool.protected_pages)[0]
         assert victim in db.pool._frames  # still resident
-        data = bytearray(db.disk.read_page(victim))
+        # Poke the device through the guard: raw damage simulation must
+        # not trip over environment-injected transient faults (CI soak).
+        data = bytearray(db.guard.read_page(db.disk, victim))
         data[40] ^= 0xFF
-        db.disk.write_page(victim, data)
+        db.guard.write_page(db.disk, victim, data)
         report = db.repair()
         assert report.converged, str(report)
         assert victim in report.healed_pages
@@ -193,7 +195,7 @@ class TestPhysicalDamage:
         assert sorted(
             str(t) for t in db.sql("SELECT scientific_name FROM birds")
         ) == rows_before
-        assert verify_checksum(db.disk.read_page(victim))
+        assert verify_checksum(db.guard.read_page(db.disk, victim))
 
     def test_quarantine_non_resident_page(self):
         """On-disk corruption with no resident copy: the page's records
@@ -203,9 +205,9 @@ class TestPhysicalDamage:
         total = db.sql("SELECT COUNT(*) FROM birds").scalar()
         db.pool.clear()  # cold cache: no frame holds a good copy
         victim = sorted(db.pool.protected_pages)[0]
-        data = bytearray(db.disk.read_page(victim))
+        data = bytearray(db.guard.read_page(db.disk, victim))
         data[40] ^= 0xFF
-        db.disk.write_page(victim, data)
+        db.guard.write_page(db.disk, victim, data)
         report = db.repair()
         assert report.converged, str(report)
         assert victim in report.quarantined_pages
