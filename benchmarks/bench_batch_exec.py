@@ -1,0 +1,87 @@
+"""Vectorized batch execution vs tuple-at-a-time (DESIGN.md §5f).
+
+The scan-heavy NoIndex plans of Figures 10 and 11 are where the batch
+executor earns its keep: column-major scans, vectorized predicate masks,
+and lazy summary materialization mean filtered-out rows never build
+SummaryObjects.  Each bench runs the same query in both modes on the
+same cached database — pytest-benchmark times the vectorized run, a
+matching best-of-N manual loop times the tuple run — and asserts the
+vectorized executor is not slower (the CI smoke gate).  The recorded
+speedups go to EXPERIMENTS.md.
+"""
+
+import time
+
+import pytest
+
+from repro.bench import FigureTable, cached_database
+from repro.bench.queries import (
+    equality_constant,
+    range_bounds,
+    sp_equality_query,
+    two_predicate_query,
+)
+
+ROUNDS = 3
+
+
+def _best_of(fn, rounds: int = ROUNDS) -> float:
+    best = float("inf")
+    for _ in range(rounds):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+@pytest.mark.benchmark(group="batch-exec")
+@pytest.mark.parametrize("figure", ["fig10", "fig11"])
+def test_vectorized_not_slower_noindex(
+    benchmark, figure, preset, figure_writer
+):
+    db = cached_database(
+        num_birds=preset.num_birds,
+        annotations_per_tuple=preset.spot_density,
+        indexes="both", cell_fraction=0.0,
+    )
+    if figure == "fig10":
+        constant = equality_constant(db, "Disease", 0.01)
+        query = sp_equality_query("Disease", constant)
+        title = "Fig-10 SP query (Disease = c)"
+    else:
+        lo, hi = range_bounds(db, "Anatomy", 0.05)
+        query = two_predicate_query(lo, hi, "experiment", "wikipedia")
+        title = "Fig-11 two-predicate query"
+
+    db.options.index_scheme = "none"
+    db.options.force_access = None
+    try:
+        db.batch_exec = False
+        tuple_rows = len(db.sql(query))  # also warms the pool identically
+        tuple_s = _best_of(lambda: db.sql(query))
+        db.batch_exec = True
+        batch_rows = len(db.sql(query))
+        benchmark.pedantic(
+            lambda: db.sql(query), rounds=ROUNDS, iterations=1
+        )
+        batch_s = benchmark.stats.stats.min
+    finally:
+        db.batch_exec = False
+        db.options.index_scheme = "summary_btree"
+
+    assert batch_rows == tuple_rows
+
+    table = figure_writer.setdefault(
+        "batch_exec_speedup",
+        FigureTable(
+            "Batch execution — NoIndex scan-heavy queries, both executors",
+            unit="ms (best of 3)",
+        ),
+    )
+    table.add("Tuple-at-a-time", title, tuple_s * 1000.0)
+    table.add("Vectorized", title, batch_s * 1000.0)
+    speedup = tuple_s / max(batch_s, 1e-9)
+    table.note(f"{title}: vectorized is {speedup:.1f}x faster")
+    # The CI smoke gate: batch mode must never lose to tuple mode on the
+    # scan-heavy shapes it was built for (small slack for timer noise).
+    assert batch_s <= tuple_s * 1.10

@@ -11,6 +11,7 @@ import json
 from typing import Iterator
 
 from repro.annotations.annotation import Annotation, AnnotationTarget
+from repro.catalog.keys import decode_int, encode_key
 from repro.catalog.schema import Column, Schema
 from repro.catalog.table import Table
 from repro.errors import RecordNotFoundError
@@ -40,13 +41,34 @@ def _decode_targets(raw: str) -> list[AnnotationTarget]:
     ]
 
 
+#: Bound on the raw-text cache (entries); zoom-in working sets are far
+#: smaller, this just keeps a pathological session from holding every
+#: annotation text ever read.
+_TEXT_CACHE_MAX = 8192
+
+
 class AnnotationStore:
     """CRUD over raw annotations, indexed by annotation id."""
+
+    #: Class-level fallback so instances unpickled from older images run
+    #: with an empty cache instead of crashing on the missing attribute.
+    _text_cache: dict[int, str] | None = None
 
     def __init__(self, pool: BufferPool):
         self._table = Table("_annotations", _SCHEMA, pool)
         self._table.create_index("ann_id")
         self._next_id = 1
+        self._text_cache = {}
+
+    def _texts_cached(self) -> dict[int, str]:
+        if self._text_cache is None:
+            self._text_cache = {}
+        return self._text_cache
+
+    def invalidate_texts(self) -> None:
+        """Drop the raw-text cache (repair rewrote the table underneath)."""
+        if self._text_cache:
+            self._text_cache.clear()
 
     def __len__(self) -> int:
         return len(self._table)
@@ -76,6 +98,7 @@ class AnnotationStore:
                 "targets": _encode_targets(annotation.targets),
             }
         )
+        self._texts_cached().pop(ann_id, None)
         return annotation
 
     def get(self, ann_id: int) -> Annotation:
@@ -91,8 +114,60 @@ class AnnotationStore:
         return [self.get(a) for a in ann_ids]
 
     def texts(self, ann_ids: list[int]) -> list[str]:
-        """Raw texts for ``ann_ids`` (zoom-in's workhorse)."""
-        return [self.get(a).text for a in ann_ids]
+        """Raw texts for ``ann_ids`` (zoom-in's workhorse).
+
+        Cache-backed and bulk-resolved: misses are fetched together — for
+        dense id sets (the usual shape — one tuple's annotations were
+        created consecutively) a single range pass over the ann_id index
+        maps ids to table OIDs and one OID-index pass decodes just the
+        text column, skipping both the per-annotation B-Tree descents and
+        the targets-JSON parse that :meth:`get` pays.
+        """
+        if not ann_ids:
+            return []
+        cache = self._texts_cached()
+        wanted = {a for a in ann_ids if a not in cache}
+        if wanted:
+            lo, hi = min(wanted), max(wanted)
+            oid_of: dict[int, int] = {}
+            if hi - lo + 1 <= 4 * len(wanted):
+                for key, value in self._table.secondary_indexes[
+                    "ann_id"
+                ].range_scan(
+                    encode_key(lo, ValueType.INT),
+                    encode_key(hi, ValueType.INT),
+                ):
+                    ann_id = decode_int(key[1:])
+                    if ann_id in wanted:
+                        oid_of[ann_id] = decode_int(value)
+            else:
+                for ann_id in wanted:
+                    oids = self._table.index_lookup("ann_id", ann_id)
+                    if oids:
+                        oid_of[ann_id] = oids[0]
+            missing = wanted - oid_of.keys()
+            if missing:
+                raise RecordNotFoundError(
+                    f"no annotation with id {min(missing)}"
+                )
+            texts = self._table.read_column_many(
+                list(oid_of.values()), "text"
+            )
+            for ann_id, oid in oid_of.items():
+                if oid not in texts:  # index entry without a live heap row
+                    raise RecordNotFoundError(
+                        f"no annotation with id {ann_id}"
+                    )
+                cache[ann_id] = texts[oid]
+            while len(cache) > _TEXT_CACHE_MAX:
+                cache.pop(next(iter(cache)))
+        try:
+            return [cache[a] for a in ann_ids]
+        except KeyError:  # trimmed straight back out by an oversized ask
+            return [
+                cache[a] if a in cache else self.get(a).text
+                for a in ann_ids
+            ]
 
     def delete(self, ann_id: int) -> Annotation:
         """Remove an annotation; returns what was removed."""
@@ -101,6 +176,7 @@ class AnnotationStore:
             raise RecordNotFoundError(f"no annotation with id {ann_id}")
         annotation = self.get(ann_id)
         self._table.delete(oids[0])
+        self._texts_cached().pop(ann_id, None)
         return annotation
 
     def scan(self) -> Iterator[Annotation]:

@@ -18,6 +18,7 @@ from repro.errors import CatalogError, RecordNotFoundError, ReproError
 from repro.storage.buffer import BufferPool
 from repro.storage.heapfile import HeapFile, RID
 from repro.storage.page import SlottedPage
+from repro.storage.record import LazyColumn
 
 _RID_CODEC = struct.Struct("<IH")
 
@@ -111,6 +112,51 @@ class Table:
         """Positional row values at a known heap location (no OID lookup)."""
         return self._codec.decode(self.heap.read(rid))
 
+    def _records_for(self, oids: list[int]) -> dict[int, bytes]:
+        """Raw heap records for many OIDs; missing OIDs are simply absent.
+
+        Dense OID sets resolve all their RIDs in a single OID-index range
+        pass instead of one B-Tree descent each; sparse sets — where the
+        range pass would visit mostly unwanted entries — fall back to
+        per-OID lookups.
+        """
+        if not oids:
+            return {}
+        wanted = set(oids)
+        lo, hi = min(wanted), max(wanted)
+        out: dict[int, bytes] = {}
+        if hi - lo + 1 > 4 * len(wanted):
+            for oid in wanted:
+                try:
+                    out[oid] = self.heap.read(self.disk_tuple_loc(oid))
+                except RecordNotFoundError:
+                    pass
+            return out
+        for key, value in self.oid_index.range_scan(
+            encode_int(lo), encode_int(hi)
+        ):
+            oid = decode_int(key)
+            if oid in wanted:
+                out[oid] = self.heap.read(unpack_rid(value))
+        return out
+
+    def read_many(self, oids: list[int]) -> dict[int, list[object]]:
+        """Positional rows for many OIDs (see :meth:`_records_for`)."""
+        return {
+            oid: self._codec.decode(record)
+            for oid, record in self._records_for(oids).items()
+        }
+
+    def read_column_many(
+        self, oids: list[int], column: str
+    ) -> dict[int, object]:
+        """One column's values for many OIDs, decoding nothing else."""
+        items = list(self._records_for(oids).items())
+        values = self._codec.decode_column(
+            [record for _, record in items], self.schema.index_of(column)
+        )
+        return {oid: value for (oid, _), value in zip(items, values)}
+
     def update(self, oid: int, row: dict[str, object]) -> None:
         """Update the named columns of tuple ``oid``."""
         old_values = self.read(oid)
@@ -153,6 +199,34 @@ class Table:
         }
         for rid, record in self.heap.scan():
             yield rid_to_oid[rid], self._codec.decode(record)
+
+    def scan_batches(
+        self, batch_rows: int
+    ) -> Iterator[tuple[list[int], list[LazyColumn]]]:
+        """Yield ``(oids, columns)`` chunks of up to ``batch_rows`` live
+        tuples in heap order — the batch executor's scan path. Each column
+        is a :class:`LazyColumn` over the chunk's raw record bytes: nothing
+        is decoded until an operator actually reads that column, so a
+        selective filter never pays for the columns (or rows) it drops."""
+        rid_to_oid = {
+            unpack_rid(v): decode_int(k)
+            for k, v in self.oid_index.items()
+        }
+        width = len(self.schema.names)
+
+        def lazy(records: list[bytes]) -> list[LazyColumn]:
+            return [LazyColumn(self._codec, records, j) for j in range(width)]
+
+        oids: list[int] = []
+        records: list[bytes] = []
+        for rid, record in self.heap.scan():
+            oids.append(rid_to_oid[rid])
+            records.append(record)
+            if len(records) >= batch_rows:
+                yield oids, lazy(records)
+                oids, records = [], []
+        if records:
+            yield oids, lazy(records)
 
     # -- repair ------------------------------------------------------------------
 

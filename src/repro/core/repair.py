@@ -190,6 +190,9 @@ class RepairManager:
         tables = [(f"table {name}", table)
                   for name, table in self.db.catalog._tables.items()]
         tables.append(("annotation store", self.db.manager.annotations._table))
+        # Reindexing can prune or salvage annotation rows underneath the
+        # store's raw-text cache.
+        self.db.manager.annotations.invalidate_texts()
         for location, table in tables:
             stats = table.reindex()
             report.pruned_entries += stats["pruned"]

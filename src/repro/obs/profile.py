@@ -101,6 +101,32 @@ class PlanProfiler:
             stats.rows += 1
             yield row
 
+    def wrap_batches(self, op, inner: Iterator) -> Iterator:
+        """Batch-mode counterpart of :meth:`wrap`: one charge per batch
+        pulled, with ``rows`` advanced by the batch's row count — so the
+        per-operator row totals match tuple mode exactly, while
+        ``next_calls`` counts batch pulls."""
+        stats = self._stats[id(op)]
+        pool = self.pool
+        io = self.disk.stats
+        cache = self.cache
+        while True:
+            hits0, misses0 = pool.hits, pool.misses
+            reads0, writes0 = io.reads, io.writes
+            chits0 = cache.hits if cache is not None else 0
+            cmisses0 = cache.misses if cache is not None else 0
+            started = time.perf_counter()
+            try:
+                batch = next(inner)
+            except StopIteration:
+                self._charge(stats, started, hits0, misses0, reads0, writes0,
+                             chits0, cmisses0)
+                return
+            self._charge(stats, started, hits0, misses0, reads0, writes0,
+                         chits0, cmisses0)
+            stats.rows += len(batch)
+            yield batch
+
     def _charge(
         self,
         stats: OperatorStats,

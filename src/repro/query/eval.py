@@ -50,6 +50,9 @@ class EvalContext:
     search_raw: bool = True
     #: registered black-box UDFs over summary sets (§3.2): name -> callable
     udfs: dict = field(default_factory=dict)
+    #: memoized raw annotation texts, FIFO-bounded so keyword-fallback-heavy
+    #: workloads can't grow the context without limit.
+    raw_cache_max: int = 4096
     _raw_cache: dict[int, str] = field(default_factory=dict)
 
     def raw_texts(self, ann_ids: list[int]) -> list[str]:
@@ -61,20 +64,30 @@ class EvalContext:
                 missing, self.manager.annotations.texts(missing)
             ):
                 self._raw_cache[ann_id] = text
-        return [self._raw_cache[a] for a in ann_ids]
+        out = [self._raw_cache[a] for a in ann_ids]
+        while len(self._raw_cache) > self.raw_cache_max:
+            del self._raw_cache[next(iter(self._raw_cache))]
+        return out
 
 
-def like_match(value: str, pattern: str) -> bool:
-    """SQL LIKE with ``%`` and ``_`` wildcards (also accepts ``*`` as a
-    convenience alias for ``%``, matching the paper's "Swan*" example)."""
+def compile_like(pattern: str) -> "re.Pattern":
+    """Compiled SQL LIKE matcher with ``%`` and ``_`` wildcards (also
+    accepts ``*`` as a convenience alias for ``%``, matching the paper's
+    "Swan*" example).
+
+    DOTALL because SQL's % and _ match any character, including newlines —
+    annotations are multi-line text.
+    """
     regex = "".join(
         ".*" if ch in "%*" else "." if ch == "_" else re.escape(ch)
         for ch in pattern
     )
-    # DOTALL: SQL's % and _ match any character, including newlines —
-    # annotations are multi-line text.
-    flags = re.IGNORECASE | re.DOTALL
-    return re.fullmatch(regex, value, flags=flags) is not None
+    return re.compile(regex, re.IGNORECASE | re.DOTALL)
+
+
+def like_match(value: str, pattern: str) -> bool:
+    """SQL LIKE; see :func:`compile_like` for the wildcard rules."""
+    return compile_like(pattern).fullmatch(value) is not None
 
 
 def evaluate(expr: Expr, row: QTuple, ctx: EvalContext | None = None) -> object:
@@ -279,3 +292,170 @@ def _dispatch_object(
     raise QueryError(
         f"unknown function {name!r} for {obj.get_summary_type()} objects"
     )
+
+
+# -- vectorized (batch-mode) predicate evaluation -----------------------------------
+#
+# A predicate mask is built column-at-a-time where the expression shape
+# allows it (comparisons over data columns, LIKE against a constant
+# pattern, two-link classifier summary chains) and row-at-a-time —
+# plain :func:`evaluate` on a row view — everywhere else, so batch mode
+# can never answer differently from tuple mode. AND evaluates its
+# conjuncts left-to-right over the surviving row set, mirroring tuple
+# mode's short-circuit; OR only evaluates later disjuncts on rows still
+# undecided.
+
+
+def batch_predicate_mask(expr: Expr, batch, ctx: EvalContext | None = None):
+    """Boolean numpy mask of the rows of ``batch`` satisfying ``expr``."""
+    import numpy as np
+
+    ctx = ctx or EvalContext()
+    active = np.ones(len(batch), dtype=bool)
+    return _batch_mask(expr, batch, ctx, active)
+
+
+def _batch_mask(expr, batch, ctx, active):
+    import numpy as np
+
+    if isinstance(expr, And):
+        mask = active
+        for item in expr.items:
+            if not mask.any():
+                return mask
+            mask = _batch_mask(item, batch, ctx, mask)
+        return mask
+    if isinstance(expr, Or):
+        result = np.zeros(len(active), dtype=bool)
+        undecided = active.copy()
+        for item in expr.items:
+            if not undecided.any():
+                break
+            hit = _batch_mask(item, batch, ctx, undecided)
+            result |= hit
+            undecided &= ~hit
+        return result
+    if isinstance(expr, Not):
+        return active & ~_batch_mask(expr.item, batch, ctx, active)
+    if isinstance(expr, Comparison):
+        return _batch_compare(expr, batch, ctx, active)
+    return _rowwise_mask(expr, batch, ctx, active)
+
+
+def _rowwise_mask(expr, batch, ctx, active):
+    """Fallback: plain per-row evaluation on the active rows."""
+    import numpy as np
+
+    out = np.zeros(len(active), dtype=bool)
+    for i in np.flatnonzero(active):
+        i = int(i)
+        out[i] = bool(evaluate(expr, batch.row(i), ctx))
+    return out
+
+
+def _batch_operand(expr, batch, ctx, active):
+    """``("scalar", v)`` / ``("col", values)`` for a vectorizable operand,
+    None when only whole-row evaluation can produce it."""
+    import numpy as np
+
+    if isinstance(expr, Literal):
+        return ("scalar", expr.value)
+    if isinstance(expr, ColumnRef):
+        name = f"{expr.alias}.{expr.column}" if expr.alias else expr.column
+        return ("col", batch.column_values(name))
+    if isinstance(expr, SummaryExpr):
+        values = batch.label_values(
+            expr, ctx, [int(i) for i in np.flatnonzero(active)]
+        )
+        if values is None:
+            return None
+        return ("col", values)
+    return None
+
+
+_ORDER_OPS = {
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+def _batch_compare(expr, batch, ctx, active):
+    import numpy as np
+
+    left = _batch_operand(expr.left, batch, ctx, active)
+    right = _batch_operand(expr.right, batch, ctx, active)
+    if left is None or right is None:
+        return _rowwise_mask(expr, batch, ctx, active)
+    op = expr.op
+    n = len(active)
+    out = np.zeros(n, dtype=bool)
+
+    def at(operand, i):
+        kind, payload = operand
+        return payload if kind == "scalar" else payload[i]
+
+    if op == "LIKE":
+        if right[0] == "scalar":
+            if right[1] is None:
+                return out
+            matcher = compile_like(str(right[1])).fullmatch
+            for i in np.flatnonzero(active):
+                i = int(i)
+                value = at(left, i)
+                out[i] = value is not None and \
+                    matcher(str(value)) is not None
+        else:
+            for i in np.flatnonzero(active):
+                i = int(i)
+                value, pattern = at(left, i), at(right, i)
+                out[i] = value is not None and pattern is not None and \
+                    like_match(str(value), str(pattern))
+        return out
+
+    # Numeric column <op> numeric constant: one numpy comparison when the
+    # column is cleanly numeric (no Nones, no objects) — otherwise the
+    # elementwise loop below reproduces _compare exactly.
+    if (op in _ORDER_OPS or op in ("=", "<>")) and left[0] == "col" \
+            and right[0] == "scalar" \
+            and isinstance(right[1], (int, float)) \
+            and not isinstance(right[1], bool):
+        try:
+            arr = np.asarray(left[1])
+        except (ValueError, TypeError):
+            arr = None
+        if arr is not None and arr.dtype.kind in "iuf":
+            if op == "=":
+                cmp = arr == right[1]
+            elif op == "<>":
+                cmp = arr != right[1]
+            else:
+                cmp = _ORDER_OPS[op](arr, right[1])
+            return active & cmp
+
+    if op == "=":
+        for i in np.flatnonzero(active):
+            i = int(i)
+            a, b = at(left, i), at(right, i)
+            out[i] = a is not None and b is not None and a == b
+        return out
+    if op == "<>":
+        for i in np.flatnonzero(active):
+            i = int(i)
+            a, b = at(left, i), at(right, i)
+            out[i] = a is not None and b is not None and a != b
+        return out
+    fn = _ORDER_OPS.get(op)
+    if fn is None:
+        raise QueryError(f"unknown operator {op!r}")
+    for i in np.flatnonzero(active):
+        i = int(i)
+        a, b = at(left, i), at(right, i)
+        if a is None or b is None:
+            continue
+        try:
+            out[i] = fn(a, b)
+        except TypeError as exc:
+            raise QueryError(f"cannot compare {a!r} {op} {b!r}") from exc
+    return out

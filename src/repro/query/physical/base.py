@@ -60,6 +60,12 @@ class PhysicalOperator:
     :class:`~repro.resilience.context.ExecutionContext` is attached
     (deadlines, cooperative cancellation). The indirection keeps the
     operators themselves free of counting and checkpoint logic.
+
+    Batch mode runs the same plan through :meth:`batches` instead: chunks
+    of :class:`~repro.query.batch.Batch` flow between operators, with the
+    same two instrumentation wrappers applied per batch. Operators without
+    a native :meth:`_produce_batches` fall back to chunking their row
+    iterator, so every plan runs in either mode.
     """
 
     #: Set per-instance by PlanProfiler.attach(); None = unprofiled run.
@@ -67,6 +73,11 @@ class PhysicalOperator:
     #: Set per-instance by ExecutionContext.attach(); None = no deadline or
     #: cancellation checkpoints.
     runtime = None
+    #: Set by the Database on a plan's root: materialize every row view of
+    #: an outgoing batch *inside* this operator's instrumented iterator, so
+    #: lazy summary reads are charged to the plan (keeping the profiler's
+    #: sum-to-run-totals invariant) and covered by deadline checkpoints.
+    materialize_output = False
 
     def _produce(self) -> Iterator[QTuple]:
         raise NotImplementedError
@@ -80,6 +91,28 @@ class PhysicalOperator:
             # profiler's bookkeeping too.
             inner = self.runtime.wrap(self, inner)
         return inner
+
+    def _produce_batches(self):
+        """Default batch production: chunk the operator's own row logic."""
+        from repro.query.batch import batches_from_rows
+
+        yield from batches_from_rows(self._produce())
+
+    def batches(self):
+        inner = self._produce_batches()
+        if self.materialize_output:
+            inner = self._materialized(inner)
+        if self.profiler is not None:
+            inner = self.profiler.wrap_batches(self, inner)
+        if self.runtime is not None:
+            inner = self.runtime.wrap_batches(self, inner)
+        return inner
+
+    @staticmethod
+    def _materialized(inner):
+        for batch in inner:
+            batch.to_rows()
+            yield batch
 
     def __iter__(self) -> Iterator[QTuple]:
         return self.rows()

@@ -19,8 +19,14 @@ from __future__ import annotations
 from typing import Iterator
 
 from repro.errors import PlanError, ReproError
+from repro.query.batch import (
+    Batch,
+    LazyScanSummaries,
+    ScanProvenance,
+)
 from repro.query.physical.base import ExecContext, PhysicalOperator
 from repro.query.tuples import QTuple
+from repro.resilience.context import BATCH_ROWS
 from repro.summaries.functions import SummarySet
 
 
@@ -54,6 +60,61 @@ def _make_tuple(
     )
 
 
+def _scan_columns(ctx: ExecContext, table_name: str, alias: str) -> list[str]:
+    table = ctx.catalog.table(table_name)
+    return [f"{alias}.{c}" for c in table.schema.names] + [f"{alias}.oid"]
+
+
+def _scan_batch(
+    ctx: ExecContext,
+    table_name: str,
+    alias: str,
+    columns: list[str],
+    oids: list[int],
+    cols: list[list[object]],
+    with_summaries: bool,
+    retained: set[str] | None,
+) -> Batch:
+    """Assemble one lazy-summary scan batch (shared by every access path:
+    summaries stay undecoded until a consumer asks for a row's sets)."""
+    return Batch(
+        columns,
+        cols + [oids],
+        LazyScanSummaries(ctx, table_name, alias, oids, with_summaries,
+                          retained),
+        ScanProvenance(alias, table_name, oids),
+    )
+
+
+def _oid_read_batches(
+    ctx: ExecContext,
+    table_name: str,
+    alias: str,
+    oid_iter,
+    with_summaries: bool,
+    retained: set[str] | None,
+) -> Iterator[Batch]:
+    """Batches for access paths that produce OIDs and read rows one heap
+    lookup at a time (data index, keyword index)."""
+    table = ctx.catalog.table(table_name)
+    columns = _scan_columns(ctx, table_name, alias)
+    width = len(table.schema.names)
+    oids: list[int] = []
+    cols: list[list[object]] = [[] for _ in range(width)]
+    for oid in oid_iter:
+        values = table.read(oid)
+        oids.append(oid)
+        for j in range(width):
+            cols[j].append(values[j])
+        if len(oids) >= BATCH_ROWS:
+            yield _scan_batch(ctx, table_name, alias, columns, oids, cols,
+                              with_summaries, retained)
+            oids, cols = [], [[] for _ in range(width)]
+    if oids:
+        yield _scan_batch(ctx, table_name, alias, columns, oids, cols,
+                          with_summaries, retained)
+
+
 class SeqScan(PhysicalOperator):
     """Full heap scan of a user relation."""
 
@@ -75,6 +136,15 @@ class SeqScan(PhysicalOperator):
         for oid, values in self.ctx.catalog.table(self.table).scan():
             yield _make_tuple(
                 self.ctx, self.table, self.alias, oid, values,
+                self.with_summaries, self.retained,
+            )
+
+    def _produce_batches(self) -> Iterator[Batch]:
+        columns = _scan_columns(self.ctx, self.table, self.alias)
+        table = self.ctx.catalog.table(self.table)
+        for oids, cols in table.scan_batches(BATCH_ROWS):
+            yield _scan_batch(
+                self.ctx, self.table, self.alias, columns, oids, cols,
                 self.with_summaries, self.retained,
             )
 
@@ -117,6 +187,17 @@ class IndexScan(PhysicalOperator):
                 self.ctx, self.table, self.alias, oid, table.read(oid),
                 self.with_summaries, self.retained,
             )
+
+    def _produce_batches(self) -> Iterator[Batch]:
+        table = self.ctx.catalog.table(self.table)
+        yield from _oid_read_batches(
+            self.ctx, self.table, self.alias,
+            table.index_range(
+                self.column, self.lo, self.hi,
+                self.lo_inclusive, self.hi_inclusive,
+            ),
+            self.with_summaries, self.retained,
+        )
 
     def label(self) -> str:
         return (
@@ -348,6 +429,23 @@ class KeywordIndexScan(PhysicalOperator):
                 self.ctx, self.table, self.alias, oid, table.read(oid),
                 self.with_summaries, self.retained,
             )
+
+    def _produce_batches(self) -> Iterator[Batch]:
+        index = self.ctx.keyword_index(self.table, self.instance)
+        if index is None:
+            raise PlanError(
+                f"no keyword index on {self.table}/{self.instance}"
+            )
+        candidates = index.candidates(list(self.keywords))
+        if candidates is None:
+            raise PlanError(
+                "keyword index unusable for keywords "
+                f"{self.keywords!r} (shorter than one trigram)"
+            )
+        yield from _oid_read_batches(
+            self.ctx, self.table, self.alias, sorted(candidates),
+            self.with_summaries, self.retained,
+        )
 
     def label(self) -> str:
         kws = ", ".join(self.keywords)

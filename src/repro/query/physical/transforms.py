@@ -7,11 +7,48 @@ import heapq
 from typing import Iterator
 
 from repro.errors import QueryError
-from repro.query.ast import AggCall, Expr, SelectItem, Star
-from repro.query.eval import evaluate, evaluate_object_predicate
+from repro.query.ast import AggCall, ColumnRef, Expr, Literal, SelectItem, Star
+from repro.query.batch import Batch, batches_from_rows, rows_from_batches
+from repro.query.eval import (
+    batch_predicate_mask,
+    evaluate,
+    evaluate_object_predicate,
+)
 from repro.query.physical.base import ExecContext, PhysicalOperator
 from repro.query.tuples import QTuple
 from repro.storage.heapfile import HeapFile
+
+
+def _hashable(value: object) -> object:
+    """A hashable stand-in for a grouping/distinct key value.
+
+    Values that already hash pass through untouched; the containers a
+    spill or UDF can legitimately produce are converted structurally.
+    Anything else gets a clear QueryError instead of the bare TypeError
+    ``dict`` raises.
+    """
+    try:
+        hash(value)
+        return value
+    except TypeError:
+        pass
+    if isinstance(value, (list, tuple)):
+        return tuple(_hashable(v) for v in value)
+    if isinstance(value, bytearray):
+        return bytes(value)
+    if isinstance(value, set):
+        return frozenset(_hashable(v) for v in value)
+    if isinstance(value, dict):
+        try:
+            return tuple(sorted(
+                (k, _hashable(v)) for k, v in value.items()
+            ))
+        except TypeError:
+            pass
+    raise QueryError(
+        f"cannot group or deduplicate on unhashable value {value!r} "
+        f"of type {type(value).__name__}"
+    )
 
 
 class FilterOp(PhysicalOperator):
@@ -31,6 +68,16 @@ class FilterOp(PhysicalOperator):
         for row in self.child.rows():
             if evaluate(self.predicate, row, self.ctx.eval_ctx):
                 yield row
+
+    def _produce_batches(self) -> Iterator[Batch]:
+        for batch in self.child.batches():
+            mask = batch_predicate_mask(
+                self.predicate, batch, self.ctx.eval_ctx
+            )
+            if mask.all():
+                yield batch
+            elif mask.any():
+                yield batch.take(mask.nonzero()[0])
 
     def label(self) -> str:
         return f"Filter[σ]({self.predicate})"
@@ -58,7 +105,16 @@ class SummaryFilterOp(PhysicalOperator):
         return [self.child]
 
     def _produce(self) -> Iterator[QTuple]:
-        for row in self.child.rows():
+        return self._filtered(self.child.rows())
+
+    def _produce_batches(self) -> Iterator[Batch]:
+        # F rewrites every row's summary sets: inherently row-at-a-time.
+        return batches_from_rows(
+            self._filtered(rows_from_batches(self.child.batches()))
+        )
+
+    def _filtered(self, rows: Iterator[QTuple]) -> Iterator[QTuple]:
+        for row in rows:
             filtered_by_id: dict[int, object] = {}
             new_sets = {}
             for alias, sset in row.summary_sets.items():
@@ -115,6 +171,38 @@ class ProjectOp(PhysicalOperator):
             return row.get(str(expr))
         return evaluate(expr, row, self.ctx.eval_ctx)
 
+    def _produce_batches(self) -> Iterator[Batch]:
+        for batch in self.child.batches():
+            n = len(batch)
+            columns: list[str] = []
+            cols: list[list[object]] = []
+            for item in self.items:
+                if isinstance(item, Star):
+                    for j, column in enumerate(batch.columns):
+                        alias = column.split(".", 1)[0]
+                        if item.alias is None or alias == item.alias:
+                            columns.append(column)
+                            cols.append(batch.cols[j])
+                    continue
+                assert isinstance(item, SelectItem)
+                columns.append(item.alias or str(item.expr))
+                cols.append(self._column(item.expr, batch, n))
+            yield Batch(columns, cols, batch.summaries, batch.provenance)
+
+    def _column(self, expr: Expr, batch: Batch, n: int) -> list[object]:
+        """One select item's output column; whole-column moves for the
+        shapes that allow it, per-row evaluation otherwise."""
+        if isinstance(expr, AggCall):
+            return batch.column_values(str(expr))
+        if isinstance(expr, ColumnRef):
+            name = f"{expr.alias}.{expr.column}" if expr.alias \
+                else expr.column
+            return batch.column_values(name)
+        if isinstance(expr, Literal):
+            return [expr.value] * n
+        ctx = self.ctx.eval_ctx
+        return [evaluate(expr, batch.row(i), ctx) for i in range(n)]
+
     def label(self) -> str:
         rendered = ", ".join(
             "*" if isinstance(i, Star) else str(i.expr) for i in self.items
@@ -158,12 +246,22 @@ class SortOp(PhysicalOperator):
         return _SortKey(values, [d for _, d in self.keys])
 
     def _produce(self) -> Iterator[QTuple]:
-        if self.method == "mem":
-            yield from sorted(self.child.rows(), key=self._key)
-            return
-        yield from self._external_sort()
+        return self._sorted(self.child.rows())
 
-    def _external_sort(self) -> Iterator[QTuple]:
+    def _produce_batches(self) -> Iterator[Batch]:
+        # Sorting is a full pipeline breaker either way; reuse the row
+        # comparator over the child's batches and re-chunk the output.
+        return batches_from_rows(
+            self._sorted(rows_from_batches(self.child.batches()))
+        )
+
+    def _sorted(self, rows: Iterator[QTuple]) -> Iterator[QTuple]:
+        if self.method == "mem":
+            yield from sorted(rows, key=self._key)
+            return
+        yield from self._external_sort(rows)
+
+    def _external_sort(self, rows: Iterator[QTuple]) -> Iterator[QTuple]:
         sort_key = self._key
         pool = self.ctx.catalog.pool
         runs: list[HeapFile] = []
@@ -179,7 +277,7 @@ class SortOp(PhysicalOperator):
             runs.append(run)
             buffer.clear()
 
-        for row in self.child.rows():
+        for row in rows:
             buffer.append(row)
             if len(buffer) >= self.run_size:
                 spill()
@@ -229,7 +327,12 @@ class _SortKey:
             elif theirs is None:
                 less = False
             else:
-                less = mine < theirs
+                try:
+                    less = mine < theirs
+                except TypeError as exc:
+                    raise QueryError(
+                        f"cannot compare sort keys {mine!r} < {theirs!r}"
+                    ) from exc
             return less if direction != "DESC" else not less
         return False
 
@@ -262,23 +365,38 @@ class GroupOp(PhysicalOperator):
         return [self.child]
 
     def _produce(self) -> Iterator[QTuple]:
+        return self._grouped(self.child.rows())
+
+    def _produce_batches(self) -> Iterator[Batch]:
+        # Grouping is a pipeline breaker; group over the child's batches
+        # as rows and re-chunk the aggregated output.
+        return batches_from_rows(
+            self._grouped(rows_from_batches(self.child.batches()))
+        )
+
+    def _grouped(self, rows: Iterator[QTuple]) -> Iterator[QTuple]:
+        # Keys are bucketed under a normalized hashable form, but each
+        # group's output row carries the first-seen original key values.
         groups: dict[tuple, list[QTuple]] = {}
+        originals: dict[tuple, tuple] = {}
         order: list[tuple] = []
-        for row in self.child.rows():
+        for row in rows:
             key = tuple(
                 evaluate(k, row, self.ctx.eval_ctx) for k in self.keys
             )
-            if key not in groups:
-                groups[key] = []
-                order.append(key)
-            groups[key].append(row)
+            norm = tuple(_hashable(v) for v in key)
+            if norm not in groups:
+                groups[norm] = []
+                originals[norm] = key
+                order.append(norm)
+            groups[norm].append(row)
 
         if not groups and not self.keys:
             # Global aggregate over an empty input: one conventional row.
             yield self._output((), [])
             return
-        for key in order:
-            yield self._output(key, groups[key])
+        for norm in order:
+            yield self._output(originals[norm], groups[norm])
 
     def _output(self, key: tuple, members: list[QTuple]) -> QTuple:
         columns = [str(k) for k in self.keys]
@@ -351,10 +469,18 @@ class DistinctOp(PhysicalOperator):
         return [self.child]
 
     def _produce(self) -> Iterator[QTuple]:
+        return self._distinct(self.child.rows())
+
+    def _produce_batches(self) -> Iterator[Batch]:
+        return batches_from_rows(
+            self._distinct(rows_from_batches(self.child.batches()))
+        )
+
+    def _distinct(self, rows: Iterator[QTuple]) -> Iterator[QTuple]:
         seen: dict[tuple, QTuple] = {}
         order: list[tuple] = []
-        for row in self.child.rows():
-            key = tuple(row.values)
+        for row in rows:
+            key = tuple(_hashable(v) for v in row.values)
             if key not in seen:
                 copied = row.copy()
                 seen[key] = copied
@@ -384,6 +510,21 @@ class LimitOp(PhysicalOperator):
             if i >= self.limit:
                 return
             yield row
+
+    def _produce_batches(self) -> Iterator[Batch]:
+        remaining = self.limit
+        if remaining <= 0:
+            return
+        for batch in self.child.batches():
+            n = len(batch)
+            if n <= remaining:
+                yield batch
+                remaining -= n
+            else:
+                yield batch.take(range(remaining))
+                remaining = 0
+            if remaining == 0:
+                return
 
     def label(self) -> str:
         return f"Limit({self.limit})"

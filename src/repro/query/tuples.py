@@ -11,11 +11,10 @@ tuples — while the per-alias mapping keeps pre-merge join predicates
 
 from __future__ import annotations
 
-import json
+import pickle
 
 from repro.errors import QueryError
 from repro.summaries.functions import SummarySet
-from repro.summaries.objects import SummaryObject
 
 
 class QTuple:
@@ -124,36 +123,24 @@ class QTuple:
     # -- serialization (external sort spills) ------------------------------------------------
 
     def to_bytes(self) -> bytes:
-        sets = {}
-        set_ids: dict[int, str] = {}
-        for alias, s in self.summary_sets.items():
-            if id(s) not in set_ids:
-                set_ids[id(s)] = f"s{len(set_ids)}"
-                sets[set_ids[id(s)]] = [o.to_dict() for o in s.objects()]
-        payload = {
-            "columns": self.columns,
-            "values": self.values,
-            "alias_sets": {a: set_ids[id(s)] for a, s in self.summary_sets.items()},
-            "sets": sets,
-            "provenance": {a: list(p) for a, p in self.provenance.items()},
-        }
-        return json.dumps(payload, separators=(",", ":")).encode("utf-8")
+        """Spill encoding for external-sort runs.
+
+        Pickle keeps every value type-faithful (tuples stay tuples, bytes
+        stay bytes — JSON silently converted or crashed on both) and its
+        memo preserves shared SummarySet identity across aliases, which
+        ``distinct_summary_sets`` relies on. Spill bytes never leave the
+        process's own temporary heap pages, so unpickling reads only what
+        this engine just wrote.
+        """
+        return pickle.dumps(
+            (self.columns, self.values, self.summary_sets, self.provenance),
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
 
     @staticmethod
     def from_bytes(data: bytes) -> "QTuple":
-        payload = json.loads(data)
-        sets = {
-            sid: SummarySet(
-                {d["instance"]: SummaryObject.from_dict(d) for d in objs}
-            )
-            for sid, objs in payload["sets"].items()
-        }
-        return QTuple(
-            payload["columns"],
-            payload["values"],
-            {a: sets[sid] for a, sid in payload["alias_sets"].items()},
-            {a: (p[0], p[1]) for a, p in payload["provenance"].items()},
-        )
+        columns, values, summary_sets, provenance = pickle.loads(data)
+        return QTuple(columns, values, summary_sets, provenance)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         pairs = ", ".join(f"{c}={v!r}" for c, v in zip(self.columns, self.values))

@@ -100,3 +100,14 @@ class ExecutionContext:
                 self.check()
             yield row
         self.check()
+
+    def wrap_batches(self, op, inner):
+        """Batch-mode counterpart of :meth:`wrap`: batches are sized to
+        :data:`BATCH_ROWS`, so one check per batch keeps the same
+        "within one batch" overrun bound as tuple mode."""
+        self.check()
+        for batch in inner:
+            self.rows_seen += len(batch)
+            self.check()
+            yield batch
+        self.check()

@@ -105,3 +105,144 @@ class RecordCodec:
                 else:
                     values.append(bytes(raw))
         return values
+
+    def decode_column(self, records: list[bytes], index: int) -> list[object]:
+        """Decode one column across ``records``, skipping every other field.
+
+        Skipped fields cost a width computation (or a length unpack for
+        variable-width fields) instead of value construction — the lazy
+        scan-batch path uses this so a query only pays for the columns it
+        actually touches.
+        """
+        types = self.types
+        bitmap_bytes = self._bitmap_bytes
+        out: list[object] = []
+        for data in records:
+            view = memoryview(data)
+            pos = bitmap_bytes
+            value: object = None
+            for i, vtype in enumerate(types):
+                if view[i // 8] & (1 << (i % 8)):
+                    if i == index:
+                        break
+                    continue
+                if vtype is ValueType.INT:
+                    if i == index:
+                        value = _I64.unpack_from(view, pos)[0]
+                        break
+                    pos += _I64.size
+                elif vtype is ValueType.FLOAT:
+                    if i == index:
+                        value = _F64.unpack_from(view, pos)[0]
+                        break
+                    pos += _F64.size
+                elif vtype is ValueType.BOOL:
+                    if i == index:
+                        value = view[pos] == 1
+                        break
+                    pos += 1
+                else:  # TEXT / BLOB
+                    (length,) = _U32.unpack_from(view, pos)
+                    pos += _U32.size
+                    if i == index:
+                        raw = bytes(view[pos:pos + length])
+                        value = (
+                            raw.decode("utf-8") if vtype is ValueType.TEXT
+                            else raw
+                        )
+                        break
+                    pos += length
+            out.append(value)
+        return out
+
+    def decode_columns(self, records: list[bytes]) -> list[list[object]]:
+        """Decode many records straight into column-major lists.
+
+        The batch executor's scan path: values land in per-column lists
+        with no intermediate row objects, reading each record through a
+        ``memoryview`` so variable-width fields are sliced without copying
+        until their final ``bytes``/``str`` is built.
+        """
+        types = self.types
+        bitmap_bytes = self._bitmap_bytes
+        cols: list[list[object]] = [[] for _ in types]
+        for data in records:
+            view = memoryview(data)
+            pos = bitmap_bytes
+            for i, vtype in enumerate(types):
+                if view[i // 8] & (1 << (i % 8)):
+                    cols[i].append(None)
+                    continue
+                if vtype is ValueType.INT:
+                    cols[i].append(_I64.unpack_from(view, pos)[0])
+                    pos += _I64.size
+                elif vtype is ValueType.FLOAT:
+                    cols[i].append(_F64.unpack_from(view, pos)[0])
+                    pos += _F64.size
+                elif vtype is ValueType.BOOL:
+                    cols[i].append(view[pos] == 1)
+                    pos += 1
+                else:  # TEXT / BLOB
+                    (length,) = _U32.unpack_from(view, pos)
+                    pos += _U32.size
+                    raw = bytes(view[pos:pos + length])
+                    pos += length
+                    cols[i].append(
+                        raw.decode("utf-8") if vtype is ValueType.TEXT
+                        else raw
+                    )
+        return cols
+
+
+class LazyColumn:
+    """A scan-batch column that decodes itself on first real access.
+
+    Holds the batch's raw record bytes and a column index; ``values()``
+    (or any element access) decodes the column via
+    :meth:`RecordCodec.decode_column` and memoizes the list. ``take``
+    before forcing just subsets the raw records, so a filter that drops
+    most of a batch never decodes the dropped rows at all.
+    """
+
+    __slots__ = ("codec", "records", "index", "_values", "_items")
+
+    def __init__(self, codec: RecordCodec, records: list[bytes], index: int):
+        self.codec = codec
+        self.records = records
+        self.index = index
+        self._values: list[object] | None = None
+        self._items: dict[int, object] = {}
+
+    def values(self) -> list[object]:
+        if self._values is None:
+            self._values = self.codec.decode_column(self.records, self.index)
+        return self._values
+
+    def take(self, indices) -> "LazyColumn | list[object]":
+        if self._values is not None:
+            return [self._values[i] for i in indices]
+        return LazyColumn(
+            self.codec, [self.records[i] for i in indices], self.index
+        )
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __getitem__(self, i):
+        if self._values is not None:
+            return self._values[i]
+        # Single-row access (a row view being built off the batch) decodes
+        # just that record rather than forcing the whole column.
+        value = self._items.get(i)
+        if value is None and i not in self._items:
+            value = self.codec.decode_column([self.records[i]], self.index)[0]
+            self._items[i] = value
+        return value
+
+    def __iter__(self):
+        return iter(self.values())
+
+    def __eq__(self, other):
+        if isinstance(other, LazyColumn):
+            other = other.values()
+        return self.values() == other

@@ -21,7 +21,55 @@ from repro.errors import RecordNotFoundError, ReproError
 from repro.storage.buffer import BufferPool
 from repro.storage.heapfile import HeapFile, RID
 from repro.storage.page import SlottedPage
-from repro.summaries.objects import SummaryObject
+from repro.summaries.objects import ClassifierObject, SummaryObject
+
+
+def _parsed_label_count(payload: list, instance: str, label: str) -> tuple:
+    """``label_count`` resolution over a fully parsed storage payload."""
+    for entry in payload:
+        if entry.get("instance") == instance:
+            if entry.get("type") != "Classifier":
+                return "fallback", None
+            members = entry.get("label_elements", {}).get(label)
+            if members is None:
+                return "fallback", None
+            return "ok", len(members)
+    return "ok", None
+
+
+def _raw_label_count(data: bytes, instance: str, label: str) -> tuple:
+    """Count one classifier label straight off the serialized row bytes.
+
+    The payload is our own ``json.dumps(..., separators=(",", ":"))`` of
+    ``to_dict()`` lists, so the needles below (all quote-anchored, and
+    quotes inside JSON string values are always escaped) can only match
+    structural positions. Any shape the scan can't prove is resolved by a
+    full parse instead — never guessed.
+    """
+    if json.dumps(instance) != f'"{instance}"' or \
+            json.dumps(label) != f'"{label}"':
+        return _parsed_label_count(json.loads(data), instance, label)
+    if data.find(b'"instance":"' + instance.encode() + b'"') < 0:
+        return "ok", None  # tuple has no object for this instance
+    prefix = b'{"type":"Classifier","instance":"' + instance.encode() + b'"'
+    cpos = data.find(prefix)
+    if cpos < 0:
+        return "fallback", None  # present but not a classifier object
+    elements = data.find(b'"label_elements":{', cpos)
+    nxt = data.find(b'{"type":', cpos + 1)
+    region_end = nxt if nxt >= 0 else len(data)
+    if elements < 0 or elements >= region_end:
+        return _parsed_label_count(json.loads(data), instance, label)
+    region = data[elements:region_end]
+    kpos = region.find(b'"' + label.encode() + b'":[')
+    if kpos < 0:
+        return "fallback", None  # rollup node or unknown label: per-row
+    start = kpos + len(label) + 4
+    end = region.find(b"]", start)
+    if end < 0:
+        return _parsed_label_count(json.loads(data), instance, label)
+    ids = region[start:end]
+    return "ok", (ids.count(b",") + 1) if ids else 0
 
 
 class SummaryStorage:
@@ -98,6 +146,76 @@ class SummaryStorage:
             {name: obj.copy() for name, obj in objects.items()}, len(data),
         )
         return objects
+
+    def label_count(self, oid: int, instance: str, label: str) -> tuple:
+        """``("ok", value)`` or ``("fallback", None)`` for the vectorized
+        ``getSummaryObject(instance).getLabelValue(label)`` fast path.
+
+        ``"ok"`` means ``value`` is exactly what full materialization would
+        compute: the classifier's element count for ``label``, or None when
+        the tuple has no storage row / no object under ``instance`` (the
+        summary chain nullifies). ``"fallback"`` means the caller must
+        materialize and evaluate the row conventionally (non-classifier
+        object, hierarchical rollup label, unusual serialization). Answers
+        come from the cache when one is attached and hot, otherwise from a
+        raw scan of the serialized row — no SummaryObject construction.
+        """
+        cache = self.cache
+        if cache is not None and cache.enabled:
+            hit, value = cache.lookup(self.table_name, oid)
+            if hit:
+                if value is None:
+                    return "ok", None
+                obj = value.get(instance)
+                if obj is None:
+                    return "ok", None
+                if not isinstance(obj, ClassifierObject):
+                    return "fallback", None
+                members = obj.label_elements.get(label)
+                if members is None:
+                    return "fallback", None
+                return "ok", len(members)
+        rid = self._rid_for(oid)
+        if rid is None:
+            return "ok", None
+        return _raw_label_count(self.heap.read(rid), instance, label)
+
+    def label_counts(
+        self, oids: list[int], instance: str, label: str
+    ) -> list[tuple]:
+        """:meth:`label_count` for a whole batch of OIDs at once.
+
+        When the OIDs span a dense range (a scan batch, or the survivors
+        of one), all their RIDs resolve in a single OID-index range scan
+        instead of one B-Tree descent per tuple. Sparse OID sets — where
+        the range pass would visit mostly unwanted entries — fall back to
+        per-OID probes, as does a hot cache.
+        """
+        cache = self.cache
+        if not oids or (cache is not None and cache.enabled):
+            return [self.label_count(o, instance, label) for o in oids]
+        lo, hi = min(oids), max(oids)
+        wanted = set(oids)
+        if hi - lo + 1 > 4 * len(wanted):
+            return [self.label_count(o, instance, label) for o in oids]
+        rids: dict[int, RID] = {}
+        for key, value in self.oid_index.range_scan(
+            encode_int(lo), encode_int(hi)
+        ):
+            oid = decode_int(key)
+            if oid in wanted:
+                page_no, slot = struct.unpack("<IH", value)
+                rids[oid] = RID(page_no, slot)
+        out: list[tuple] = []
+        for oid in oids:
+            rid = rids.get(oid)
+            if rid is None:
+                out.append(("ok", None))
+            else:
+                out.append(
+                    _raw_label_count(self.heap.read(rid), instance, label)
+                )
+        return out
 
     def put(self, oid: int, objects: dict[str, SummaryObject]) -> bool:
         """Insert or replace the summary row of ``oid``.
