@@ -45,6 +45,7 @@ wiring.
 from __future__ import annotations
 
 import os
+import threading
 from collections import OrderedDict
 from typing import Any
 
@@ -92,6 +93,12 @@ class SummaryCache:
         )
         self._epochs: dict[str, int] = {}
         self.used_bytes = 0
+        # One mutex over entries, epochs, occupancy, and the lifetime
+        # counters: lookup's hit path mutates LRU order and an epoch bump
+        # racing a store could otherwise admit an entry stamped with the
+        # *pre*-bump epoch after the bump — a stale value served as fresh.
+        # Reentrant because bump_all calls bump_epoch under it.
+        self._mutex = threading.RLock()
         # Lifetime counters (survive MetricsRegistry.reset; the registry
         # mirror is what EXPLAIN ANALYZE diffs).
         self.hits = 0
@@ -118,16 +125,18 @@ class SummaryCache:
     def resize(self, capacity_bytes: int) -> None:
         """Change the capacity; shrinking evicts LRU entries to fit and
         resizing to 0 disables the cache (dropping everything)."""
-        self.capacity_bytes = max(int(capacity_bytes), 0)
-        if self.capacity_bytes == 0:
-            self.clear()
-            return
-        self._evict_to_fit()
+        with self._mutex:
+            self.capacity_bytes = max(int(capacity_bytes), 0)
+            if self.capacity_bytes == 0:
+                self.clear()
+                return
+            self._evict_to_fit()
 
     def clear(self) -> None:
         """Drop every entry (capacity and epochs are untouched)."""
-        self._entries.clear()
-        self.used_bytes = 0
+        with self._mutex:
+            self._entries.clear()
+            self.used_bytes = 0
         self.metrics.inc("cache.clears")
 
     # -- epochs ---------------------------------------------------------------
@@ -138,16 +147,18 @@ class SummaryCache:
     def bump_epoch(self, table: str, reason: str = "write") -> None:
         """Coarse per-table invalidation: every existing entry of ``table``
         becomes stale in O(1); they are reaped lazily on lookup/eviction."""
-        self._epochs[table] = self._epochs.get(table, 0) + 1
-        self.epoch_bumps += 1
+        with self._mutex:
+            self._epochs[table] = self._epochs.get(table, 0) + 1
+            self.epoch_bumps += 1
         self.metrics.inc("cache.epoch_bumps")
         self.metrics.inc(f"cache.epoch_bumps.{reason}")
 
     def bump_all(self, reason: str) -> None:
         """Whole-database invalidation (recover / repair / load)."""
-        tables = set(self._epochs) | {key[0] for key in self._entries}
-        for table in tables:
-            self.bump_epoch(table, reason)
+        with self._mutex:
+            tables = set(self._epochs) | {key[0] for key in self._entries}
+            for table in tables:
+                self.bump_epoch(table, reason)
         if not tables:
             # Still leave a trace that the event happened.
             self.metrics.inc(f"cache.epoch_bumps.{reason}", 0)
@@ -161,19 +172,20 @@ class SummaryCache:
         do).  A stale entry (epoch behind the table's) counts as a miss and
         is dropped on the spot."""
         key = (table, oid, kind)
-        entry = self._entries.get(key)
-        if entry is not None:
-            value, size, epoch = entry
-            if epoch == self.epoch(table):
-                self._entries.move_to_end(key)
-                self.hits += 1
-                self.metrics.inc("cache.hits")
-                return True, value
-            del self._entries[key]
-            self.used_bytes -= size
-            self.invalidations += 1
-            self.metrics.inc("cache.invalidations")
-        self.misses += 1
+        with self._mutex:
+            entry = self._entries.get(key)
+            if entry is not None:
+                value, size, epoch = entry
+                if epoch == self.epoch(table):
+                    self._entries.move_to_end(key)
+                    self.hits += 1
+                    self.metrics.inc("cache.hits")
+                    return True, value
+                del self._entries[key]
+                self.used_bytes -= size
+                self.invalidations += 1
+                self.metrics.inc("cache.invalidations")
+            self.misses += 1
         self.metrics.inc("cache.misses")
         return False, None
 
@@ -186,30 +198,34 @@ class SummaryCache:
             return False
         size = int(size_hint) + ENTRY_OVERHEAD
         if size > self.max_entry_bytes:
-            self.rejections += 1
+            with self._mutex:
+                self.rejections += 1
             self.metrics.inc("cache.rejections")
             return False
         key = (table, oid, kind)
-        old = self._entries.pop(key, None)
-        if old is not None:
-            self.used_bytes -= old[1]
-        self._entries[key] = (value, size, self.epoch(table))
-        self.used_bytes += size
-        self.stores += 1
-        self.metrics.inc("cache.stores")
-        self._evict_to_fit()
+        with self._mutex:
+            old = self._entries.pop(key, None)
+            if old is not None:
+                self.used_bytes -= old[1]
+            self._entries[key] = (value, size, self.epoch(table))
+            self.used_bytes += size
+            self.stores += 1
+            self.metrics.inc("cache.stores")
+            self._evict_to_fit()
         return True
 
     def invalidate(self, table: str, oid: int) -> None:
         """Precise invalidation: drop every kind of entry for one tuple."""
-        for kind in ("set", "texts"):
-            entry = self._entries.pop((table, oid, kind), None)
-            if entry is not None:
-                self.used_bytes -= entry[1]
-                self.invalidations += 1
-                self.metrics.inc("cache.invalidations")
+        with self._mutex:
+            for kind in ("set", "texts"):
+                entry = self._entries.pop((table, oid, kind), None)
+                if entry is not None:
+                    self.used_bytes -= entry[1]
+                    self.invalidations += 1
+                    self.metrics.inc("cache.invalidations")
 
     def _evict_to_fit(self) -> None:
+        # Caller holds self._mutex.
         while self.used_bytes > self.capacity_bytes and self._entries:
             _key, (_value, size, _epoch) = self._entries.popitem(last=False)
             self.used_bytes -= size
@@ -224,30 +240,43 @@ class SummaryCache:
 
     def stats(self) -> dict[str, float]:
         """Lifetime counters + current occupancy (the ``\\cache`` view)."""
-        return {
-            "capacity_bytes": self.capacity_bytes,
-            "used_bytes": self.used_bytes,
-            "entries": len(self._entries),
-            "hits": self.hits,
-            "misses": self.misses,
-            "hit_rate": self.hit_rate(),
-            "stores": self.stores,
-            "evictions": self.evictions,
-            "invalidations": self.invalidations,
-            "rejections": self.rejections,
-            "epoch_bumps": self.epoch_bumps,
-        }
+        with self._mutex:
+            return {
+                "capacity_bytes": self.capacity_bytes,
+                "used_bytes": self.used_bytes,
+                "entries": len(self._entries),
+                "hits": self.hits,
+                "misses": self.misses,
+                "hit_rate": self.hit_rate(),
+                "stores": self.stores,
+                "evictions": self.evictions,
+                "invalidations": self.invalidations,
+                "rejections": self.rejections,
+                "epoch_bumps": self.epoch_bumps,
+            }
 
     # -- pickling -------------------------------------------------------------
 
     def __getstate__(self) -> dict:
         # Entries are process state: a loaded image starts cold, so replayed
-        # or repaired history can never resurface through the cache.
-        state = self.__dict__.copy()
+        # or repaired history can never resurface through the cache.  The
+        # mutex is process state too (unpicklable by construction).
+        with self._mutex:
+            state = self.__dict__.copy()
         state["_entries"] = OrderedDict()
         state["used_bytes"] = 0
         state["_epochs"] = {}
+        del state["_mutex"]
         return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        # Caches pickled before the concurrency era carried entries but no
+        # mutex; either way the restored cache starts cold with a fresh one.
+        self.__dict__.setdefault("_entries", OrderedDict())
+        self.__dict__.setdefault("_epochs", {})
+        self.__dict__.setdefault("used_bytes", 0)
+        self._mutex = threading.RLock()
 
 
 class CacheInvalidator:

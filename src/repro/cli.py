@@ -27,7 +27,11 @@ PROMPT = "insightnotes> "
 _HELP = """\
 Commands:
   <SQL statement>          run it (SELECT / INSERT / UPDATE / DELETE /
-                           CREATE TABLE / ALTER TABLE ... / ZOOM IN ...)
+                           CREATE TABLE / ALTER TABLE ... / ZOOM IN ... /
+                           ANNOTATE <table> <oid> 'text')
+  BEGIN / COMMIT / ABORT   explicit transactions: DML between BEGIN and
+                           COMMIT is buffered and atomically durable;
+                           ABORT (or ROLLBACK) discards it
   EXPLAIN <select>         show the chosen logical and physical plans
   EXPLAIN ANALYZE <select> run it too; annotate actual rows/time/pages
   \\demo [birds] [apt]      load the seeded Birds workload
@@ -324,8 +328,57 @@ def repair_image(image: str, out: str | None = None) -> int:
     return 0 if report.converged else 1
 
 
+def serve_command(args: list[str]) -> int:
+    """``python -m repro serve [image] [--host H] [--port P]``: run the
+    asyncio query server over a fresh database or a loaded image.
+
+    Exit status: 0 on a clean shutdown (Ctrl-C), 2 on bad arguments or
+    an unloadable image.
+    """
+    import asyncio
+
+    from repro.errors import CorruptImageError
+    from repro.server import DEFAULT_PORT
+    from repro.server.server import serve
+
+    host, port, image = "127.0.0.1", DEFAULT_PORT, None
+    it = iter(args)
+    for arg in it:
+        if arg == "--host":
+            host = next(it, None)
+        elif arg == "--port":
+            raw = next(it, None)
+            try:
+                port = int(raw)
+            except (TypeError, ValueError):
+                print("usage: python -m repro serve [image] "
+                      "[--host H] [--port P]")
+                return 2
+        elif image is None and not arg.startswith("-"):
+            image = arg
+        else:
+            print("usage: python -m repro serve [image] [--host H] [--port P]")
+            return 2
+    if host is None:
+        print("usage: python -m repro serve [image] [--host H] [--port P]")
+        return 2
+    if image is not None:
+        try:
+            db = Database.load(image)
+        except (CorruptImageError, OSError) as exc:
+            print(f"error: {exc}")
+            return 2
+    else:
+        db = Database()
+    try:
+        asyncio.run(serve(db, host=host, port=port))
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
-    """Entry point: ``repro check|recover|repair …`` or the REPL."""
+    """Entry point: ``repro check|recover|repair|serve …`` or the REPL."""
     argv = sys.argv[1:] if argv is None else argv
     if argv and argv[0] == "check":
         if len(argv) != 2:
@@ -342,6 +395,8 @@ def main(argv: list[str] | None = None) -> int:
             print("usage: python -m repro repair <image> [out]")
             return 2
         return repair_image(argv[1], argv[2] if len(argv) == 3 else None)
+    if argv and argv[0] == "serve":
+        return serve_command(argv[1:])
     print("InsightNotes+ shell — \\help for commands, \\demo to load data")
     db = Database()
     while True:

@@ -18,6 +18,7 @@ import functools
 import os
 import pickle
 import struct
+import threading
 import time
 import zlib
 from contextlib import contextmanager
@@ -71,6 +72,9 @@ from repro.storage.buffer import BufferPool
 from repro.storage.disk import DiskManager, IOStats
 from repro.storage.record import ValueType
 from repro.summaries.maintenance import SummaryManager
+from repro.txn.locks import StripedLockManager
+from repro.txn.manager import TransactionManager
+from repro.txn.session import Session
 from repro.wal.device import MemoryWALDevice
 from repro.wal.record import WALRecordType
 from repro.wal.writer import WALWriter
@@ -126,6 +130,16 @@ def _env_batch_exec() -> bool:
     to a truthy value) — the whole-suite switch CI uses to run tier-1
     under the vectorized batch executor."""
     raw = os.environ.get("REPRO_BATCH_EXEC", "").strip().lower()
+    return raw not in ("", "0", "false", "off", "no")
+
+
+def _env_locks() -> bool:
+    """Whether the per-thread default session takes table locks
+    (``REPRO_LOCKS``; off unless truthy) — the whole-suite switch CI uses
+    to run tier-1 with the lock manager on every statement's path.
+    Explicit sessions (:meth:`Database.session`, the server) lock
+    regardless."""
+    raw = os.environ.get("REPRO_LOCKS", "").strip().lower()
     return raw not in ("", "0", "false", "off", "no")
 
 
@@ -255,12 +269,52 @@ class Database:
         #: seeded from REPRO_STATEMENT_TIMEOUT, overridable per call and
         #: from the REPL's ``\timeout`` command.
         self.statement_timeout = _env_timeout()
-        #: ExecutionContext of the statement currently running through
-        #: :meth:`execute`; what :meth:`cancel_running` cancels.
-        self._exec_ctx: ExecutionContext | None = None
         #: vectorized batch execution (column-batch Volcano); None reads
         #: the REPRO_BATCH_EXEC env var.
         self.batch_exec = _env_batch_exec() if batch_exec is None else batch_exec
+        self._init_concurrency()
+
+    def _init_concurrency(self) -> None:
+        """Build the process-local concurrency runtime: none of it is
+        picklable and none of it belongs in an image, so ``__init__`` and
+        ``__setstate__`` both build it fresh."""
+        #: serializes every WAL-logged mutation (the WAL is one serial
+        #: stream) — taken by ``_wal_statement``, txn commit, and save().
+        self._commit_mutex = threading.RLock()
+        #: per-thread slot for the running statement's ExecutionContext;
+        #: concurrent sessions on worker threads each see their own.
+        self._exec_local = threading.local()
+        #: per-thread default Session backing :meth:`sql`.
+        self._session_local = threading.local()
+        self.lock_manager = StripedLockManager(metrics=self.metrics)
+        self.txn_manager = TransactionManager(self)
+
+    # -- sessions --------------------------------------------------------------------
+
+    def session(self, locking: bool = True) -> Session:
+        """A new session: its own lock owner and transaction scope (the
+        unit one server connection, worker thread, or test actor holds)."""
+        return Session(self, locking=locking)
+
+    def _default_session(self) -> Session:
+        """The calling thread's implicit session, backing :meth:`sql`.
+        Lock acquisition follows ``REPRO_LOCKS`` so the classic
+        single-caller surface pays nothing unless CI flips it on."""
+        session = getattr(self._session_local, "session", None)
+        if session is None:
+            session = Session(self, locking=_env_locks(), name="default")
+            self._session_local.session = session
+        return session
+
+    @property
+    def _exec_ctx(self) -> "ExecutionContext | None":
+        """ExecutionContext of the statement running on *this thread*;
+        what :meth:`cancel_running` cancels."""
+        return getattr(self._exec_local, "ctx", None)
+
+    @_exec_ctx.setter
+    def _exec_ctx(self, ctx: "ExecutionContext | None") -> None:
+        self._exec_local.ctx = ctx
 
     # -- write-ahead logging ---------------------------------------------------------
 
@@ -295,23 +349,32 @@ class Database:
         ever acknowledged after its record is durable; on failure the sync
         is skipped — the un-synced record either vanishes with the crash
         or is replayed, fails the same way, and is skipped by recovery.
-        """
-        active = (
-            self.wal is not None
-            and not self._wal_replaying
-            and self._wal_depth == 0
-        )
-        self._wal_depth += 1
-        try:
-            yield active
-            if active:
-                self.wal.sync()
-        finally:
-            self._wal_depth -= 1
 
-    def _wal_append(self, rtype: int, payload: dict) -> int:
+        Holds the commit mutex for the whole scope: the WAL is one serial
+        stream, so concurrent writers (autocommit statements on worker
+        threads, transaction commits) must append+apply+sync one at a
+        time.  The mutex is reentrant — nested statement scopes and the
+        commit protocol (which takes it explicitly) recurse safely.
+        """
+        with self._commit_mutex:
+            active = (
+                self.wal is not None
+                and not self._wal_replaying
+                and self._wal_depth == 0
+            )
+            self._wal_depth += 1
+            try:
+                yield active
+                if active:
+                    self.wal.sync()
+            finally:
+                self._wal_depth -= 1
+
+    def _wal_append(self, rtype: int, payload: dict, txn_id: int = 0) -> int:
         self._stmt_counter += 1
-        return self.wal.append(rtype, payload, stmt_id=self._stmt_counter)
+        return self.wal.append(
+            rtype, payload, stmt_id=self._stmt_counter, txn_id=txn_id
+        )
 
     @classmethod
     def recover(cls, path, device, verify: bool = False):
@@ -356,8 +419,11 @@ class Database:
         state["wal"] = None
         state["_wal_depth"] = 0
         state["_wal_replaying"] = False
-        # The running statement belongs to the running process.
-        state["_exec_ctx"] = None
+        # The concurrency runtime (locks, sessions, transactions, running
+        # statements) belongs to the running process, not the image.
+        for key in ("_commit_mutex", "_exec_local", "_session_local",
+                    "lock_manager", "txn_manager"):
+            state.pop(key, None)
         return state
 
     def __setstate__(self, state: dict) -> None:
@@ -371,8 +437,11 @@ class Database:
         # … and images before the resilience era lack these.
         state.setdefault("statement_timeout", None)
         state.setdefault("batch_exec", _env_batch_exec())
-        state["_exec_ctx"] = None
+        # Pre-concurrency images pickled a _exec_ctx slot; the attribute
+        # is a property over thread-local state now.
+        state.pop("_exec_ctx", None)
         self.__dict__.update(state)
+        self._init_concurrency()
         if "health" not in state:
             self.health = AccessPathHealth(metrics=self.metrics)
         if "guard" not in state:
@@ -670,6 +739,13 @@ class Database:
         Registered UDFs are *not* persisted (arbitrary callables don't
         serialize portably); re-register them after :meth:`load`.
         """
+        # Checkpoints are atomic with respect to writers: the commit mutex
+        # keeps any concurrent statement's apply+log out of the image and
+        # out of the truncated log region.
+        with self._commit_mutex:
+            self._save_locked(path)
+
+    def _save_locked(self, path: str | Path) -> None:
         self.pool.flush_all()
         if self.wal is not None:
             self.wal.sync()
@@ -818,6 +894,13 @@ class Database:
         health = getattr(self, "health", None)
         if health is not None:
             snap["resilience.unhealthy_paths"] = len(health)
+        txn_manager = getattr(self, "txn_manager", None)
+        if txn_manager is not None:
+            # Gauges; the txn.*/lock.* event counters live in the registry.
+            snap["txn.open"] = len(txn_manager.active)
+        lock_manager = getattr(self, "lock_manager", None)
+        if lock_manager is not None:
+            snap["lock.tables"] = len(lock_manager)
         return snap
 
     def reset_metrics(self) -> None:
@@ -896,9 +979,19 @@ class Database:
         """Execute one SQL statement.
 
         SELECT returns a :class:`ResultSet`; ZOOM IN returns raw texts; DDL
-        and INSERT return None.
+        and INSERT return None; DELETE/UPDATE return the affected-row
+        count; ANNOTATE returns the new annotation id.
+
+        Statements route through the calling thread's default
+        :class:`~repro.txn.session.Session`, which is what makes
+        ``BEGIN``/``COMMIT``/``ABORT`` work from here and the REPL, and
+        (under ``REPRO_LOCKS``) takes table locks around every statement.
         """
-        stmt = parse_sql(query)
+        return self._default_session().execute_stmt(parse_sql(query))
+
+    def _dispatch_stmt(self, stmt):
+        """Session-free statement dispatch: the engine's raw execution
+        surface, called by sessions after lock/transaction handling."""
         if isinstance(stmt, SelectStmt):
             return self._execute_select(stmt)
         if isinstance(stmt, ExplainStmt):
@@ -956,9 +1049,11 @@ class Database:
             self.delete_tuple(stmt.table, oid)
         return len(oids)
 
-    def _execute_update(self, stmt: UpdateStmt) -> int:
-        """Returns the number of updated tuples.  Assignment expressions
-        evaluate per row (columns and summary expressions allowed)."""
+    def _update_plan(self, stmt: UpdateStmt) -> list[tuple[int, dict]]:
+        """Evaluate an UPDATE's WHERE and assignment expressions against
+        current state: ``(oid, assigned-values)`` per matching row.
+        Shared by immediate execution and transactional buffering (which
+        logs post-evaluation values, never expressions)."""
         from repro.query.eval import EvalContext, evaluate
 
         alias = stmt.alias or stmt.table
@@ -969,7 +1064,6 @@ class Database:
         )
         physical, _logical, _cost = self.planner.plan(select)
         self._attach_runtime(physical)
-        table = self.catalog.table(stmt.table)
         ctx = EvalContext(manager=self.manager, udfs=self.manager.udfs)
         updates: list[tuple[int, dict]] = []
         for row in self._plan_rows(physical):
@@ -979,6 +1073,13 @@ class Database:
                 for column, expr in stmt.assignments
             }
             updates.append((oid, assigned))
+        return updates
+
+    def _execute_update(self, stmt: UpdateStmt) -> int:
+        """Returns the number of updated tuples.  Assignment expressions
+        evaluate per row (columns and summary expressions allowed)."""
+        updates = self._update_plan(stmt)
+        table = self.catalog.table(stmt.table)
         for oid, assigned in updates:
             with self._wal_statement() as log:
                 if log:

@@ -136,3 +136,35 @@ class CorruptImageError(StorageError, QueryError):
     and :class:`QueryError` (images are loaded through the query-facing
     ``Database.load`` API, whose callers historically caught QueryError).
     """
+
+
+class TransactionError(QueryError):
+    """Raised for transaction-control misuse (BEGIN inside an open
+    transaction, COMMIT/ABORT with none open, DDL inside a transaction)
+    and for commit-path failures."""
+
+
+class TransactionAbortedError(TransactionError):
+    """Raised when a transaction was force-aborted by the engine (e.g. as
+    a deadlock victim after a lock-wait timeout): every buffered change
+    was discarded and the session is back in autocommit mode."""
+
+
+class LockTimeoutError(TransactionError):
+    """Raised when a table lock could not be acquired before the
+    deadline — the engine's timeout-based deadlock detection. The waiting
+    transaction is chosen as the victim and auto-aborted."""
+
+
+class ProtocolError(ReproError):
+    """Raised on a malformed wire frame (bad length prefix, oversized
+    payload, undecodable JSON, wrong request shape)."""
+
+
+class ServerError(ReproError):
+    """Client-side mirror of an error response from the server: carries
+    the original error type name in ``error_type``."""
+
+    def __init__(self, message: str, error_type: str = "ServerError"):
+        super().__init__(message)
+        self.error_type = error_type

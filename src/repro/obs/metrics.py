@@ -2,10 +2,13 @@
 
 A :class:`MetricsRegistry` is a flat namespace of named monotonic counters
 (``inc``) and accumulated wall-time buckets (``timer``/``add_time``).  It is
-deliberately tiny: dict lookups only, no locks, no background machinery —
+deliberately tiny: dict updates under one mutex, no background machinery —
 cheap enough to leave enabled in every run, which is what makes the counted
 numbers comparable across benches (DESIGN.md §5's interpreter-noise
-argument).
+argument).  The mutex matters since the engine went concurrent: the
+read-modify-write in ``inc`` is a classic lost-update race when sessions
+on worker threads count through the same registry (locks, WAL, cache all
+share it), and an unlocked ``snapshot`` could observe a dict mid-resize.
 
 Naming convention used by the engine::
 
@@ -36,25 +39,53 @@ Naming convention used by the engine::
                                  corruption quarantined their access paths
     resilience.breaker_state     snapshot gauge: 0=closed 1=half-open 2=open
     resilience.unhealthy_paths   snapshot gauge: quarantined path count
+    txn.begins / txn.commits / txn.aborts / txn.empty_commits
+                                 explicit-transaction lifecycle (repro.txn)
+    txn.ops_committed            buffered redo ops applied at commit
+    txn.commit_failures          commits that raised mid-apply
+    txn.open                     snapshot gauge: transactions in flight
+    lock.acquisitions.shared / lock.acquisitions.exclusive / lock.upgrades
+                                 lock-manager grants (repro.txn.locks)
+    lock.waits / lock.timeouts   blocked acquisitions / deadlock victims
+    lock.releases                release_all calls that dropped >=1 lock
+    lock.tables                  snapshot gauge: distinct locked resources
+    server.connections / server.requests / server.errors
+                                 asyncio query server (repro.server)
+    server.cancelled_disconnects statements cancelled by client hangup
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from contextlib import contextmanager
 
 
 class MetricsRegistry:
-    """Named monotonic counters + accumulated timers."""
+    """Named monotonic counters + accumulated timers (thread-safe)."""
 
     def __init__(self) -> None:
         self.counters: dict[str, int] = {}
         self.timers: dict[str, float] = {}
+        self._mutex = threading.Lock()
+
+    # -- pickling (the registry rides inside Database images) -----------------
+
+    def __getstate__(self) -> dict:
+        with self._mutex:
+            return {"counters": dict(self.counters),
+                    "timers": dict(self.timers)}
+
+    def __setstate__(self, state: dict) -> None:
+        self.counters = state.get("counters", {})
+        self.timers = state.get("timers", {})
+        self._mutex = threading.Lock()
 
     # -- counters -------------------------------------------------------------
 
     def inc(self, name: str, n: int = 1) -> None:
-        self.counters[name] = self.counters.get(name, 0) + n
+        with self._mutex:
+            self.counters[name] = self.counters.get(name, 0) + n
 
     def get(self, name: str, default: int = 0) -> int:
         return self.counters.get(name, default)
@@ -62,7 +93,8 @@ class MetricsRegistry:
     # -- timers ---------------------------------------------------------------
 
     def add_time(self, name: str, seconds: float) -> None:
-        self.timers[name] = self.timers.get(name, 0.0) + seconds
+        with self._mutex:
+            self.timers[name] = self.timers.get(name, 0.0) + seconds
 
     @contextmanager
     def timer(self, name: str):
@@ -78,9 +110,10 @@ class MetricsRegistry:
     def snapshot(self) -> dict[str, float]:
         """One flat dict of every counter and timer (timers keyed
         ``<name>.seconds``)."""
-        out: dict[str, float] = dict(self.counters)
-        for name, seconds in self.timers.items():
-            out[f"{name}.seconds"] = seconds
+        with self._mutex:
+            out: dict[str, float] = dict(self.counters)
+            for name, seconds in self.timers.items():
+                out[f"{name}.seconds"] = seconds
         return out
 
     @staticmethod
@@ -95,5 +128,6 @@ class MetricsRegistry:
         return out
 
     def reset(self) -> None:
-        self.counters.clear()
-        self.timers.clear()
+        with self._mutex:
+            self.counters.clear()
+            self.timers.clear()

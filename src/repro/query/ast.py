@@ -297,3 +297,31 @@ class InsertStmt:
     table: str
     columns: list[str] | None
     rows: list[list[object]]
+
+
+@dataclass(frozen=True)
+class AnnotateStmt:
+    """``ANNOTATE <table> <oid> [(col, ...)] '<text>'`` — attach a raw
+    annotation through SQL, so server clients (and transactions) can
+    annotate without the programmatic :meth:`Database.add_annotation`."""
+
+    table: str
+    oid: int
+    text: str
+    columns: tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class BeginStmt:
+    """``BEGIN [TRANSACTION]`` — open an explicit transaction on the
+    session (see ``repro.txn``)."""
+
+
+@dataclass(frozen=True)
+class CommitStmt:
+    """``COMMIT`` — apply + durably log the session's open transaction."""
+
+
+@dataclass(frozen=True)
+class AbortStmt:
+    """``ABORT`` / ``ROLLBACK`` — discard the open transaction."""

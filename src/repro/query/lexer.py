@@ -27,6 +27,7 @@ KEYWORDS = {
     "values", "int", "float", "text", "bool", "count", "sum", "avg", "min",
     "max", "true", "false", "null", "distinct", "filter", "summaries",
     "having", "delete", "update", "set", "explain", "analyze",
+    "begin", "commit", "abort", "rollback", "transaction", "annotate",
 }
 
 

@@ -15,12 +15,18 @@ Grammar sketch::
 
     alter       := ALTER TABLE ident (ADD [INDEXABLE] | DROP) ident
     zoom        := ZOOM IN ident number ident [string | number]
+    annotate    := ANNOTATE ident number ['(' ident (',' ident)* ')'] string
+    txn         := BEGIN [TRANSACTION] | COMMIT | ABORT | ROLLBACK
 """
 
 from __future__ import annotations
 
 from repro.errors import ParseError
 from repro.query.ast import (
+    AbortStmt,
+    AnnotateStmt,
+    BeginStmt,
+    CommitStmt,
     DeleteStmt,
     UpdateStmt,
     UdfCall,
@@ -98,6 +104,11 @@ class Parser:
             "delete": self.parse_delete,
             "update": self.parse_update,
             "explain": self.parse_explain,
+            "annotate": self.parse_annotate,
+            "begin": self.parse_begin,
+            "commit": self.parse_commit,
+            "abort": self.parse_abort,
+            "rollback": self.parse_abort,
         }.get(token.value)
         if stmt is None:
             raise ParseError(f"unsupported statement {token.value!r}")
@@ -462,6 +473,36 @@ class Parser:
             if not self.accept("punct", ","):
                 break
         return InsertStmt(table, columns, rows)
+
+    def parse_annotate(self) -> AnnotateStmt:
+        self.expect("keyword", "annotate")
+        table = str(self.expect("ident").value)
+        oid = int(self.expect("number").value)
+        columns: list[str] = []
+        if self.accept("punct", "("):
+            columns.append(str(self.expect("ident").value))
+            while self.accept("punct", ","):
+                columns.append(str(self.expect("ident").value))
+            self.expect("punct", ")")
+        text = str(self.expect("string").value)
+        return AnnotateStmt(table, oid, text, tuple(columns))
+
+    # -- transactions ----------------------------------------------------------------------
+
+    def parse_begin(self) -> BeginStmt:
+        self.expect("keyword", "begin")
+        self.accept("keyword", "transaction")
+        return BeginStmt()
+
+    def parse_commit(self) -> CommitStmt:
+        self.expect("keyword", "commit")
+        self.accept("keyword", "transaction")
+        return CommitStmt()
+
+    def parse_abort(self) -> AbortStmt:
+        self.next()  # ABORT or ROLLBACK
+        self.accept("keyword", "transaction")
+        return AbortStmt()
 
     def parse_value(self) -> object:
         token = self.next()

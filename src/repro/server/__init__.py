@@ -1,0 +1,31 @@
+"""Query serving: asyncio TCP server + thin client (DESIGN.md §5g).
+
+The server multiplexes concurrent clients over one
+:class:`~repro.core.database.Database`; each connection owns a locking
+:class:`~repro.txn.session.Session`, statements run on a worker thread
+pool, and a mid-statement client hangup cancels the statement through
+the cooperative path so locks are never stranded.
+"""
+
+from repro.server.client import QueryClient
+from repro.server.protocol import (
+    DEFAULT_PORT,
+    MAX_FRAME,
+    decode_length,
+    decode_payload,
+    encode_frame,
+    jsonable_result,
+)
+from repro.server.server import QueryServer, serve
+
+__all__ = [
+    "DEFAULT_PORT",
+    "MAX_FRAME",
+    "QueryClient",
+    "QueryServer",
+    "decode_length",
+    "decode_payload",
+    "encode_frame",
+    "jsonable_result",
+    "serve",
+]

@@ -1,0 +1,94 @@
+"""Thin synchronous client for the query server.
+
+:class:`QueryClient` speaks the length-prefixed JSON protocol over a
+blocking socket — one statement in flight at a time, which is exactly
+the shape benchmark workers and tests want.  Error responses surface as
+:class:`~repro.errors.ServerError` carrying the server-side exception
+class name in ``error_type``, so a caller can tell a lock timeout from
+a parse error without string-matching messages.
+"""
+
+from __future__ import annotations
+
+import socket
+
+from repro.errors import ProtocolError, ServerError
+from repro.server.protocol import (
+    LENGTH,
+    MAX_FRAME,
+    decode_length,
+    decode_payload,
+    encode_frame,
+)
+
+
+class QueryClient:
+    """Blocking one-statement-at-a-time client; usable as a context
+    manager (``with QueryClient(host, port) as c: c.execute(...)``)."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0,
+                 connect_timeout: float = 5.0,
+                 max_frame: int = MAX_FRAME):
+        self.host = host
+        self.port = port
+        self.max_frame = max_frame
+        self._sock = socket.create_connection(
+            (host, port), timeout=connect_timeout
+        )
+        # Statements may legitimately run long (lock waits, big scans);
+        # the per-connect timeout must not kill the response read.
+        self._sock.settimeout(None)
+
+    def __enter__(self) -> "QueryClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    # -- protocol -------------------------------------------------------------
+
+    def execute(self, sql: str, timeout: float | None = None):
+        """Run one statement; returns the JSON-shaped result value or
+        raises :class:`ServerError` mirroring the server-side failure."""
+        request: dict = {"sql": sql}
+        if timeout is not None:
+            request["timeout"] = timeout
+        self.send_raw(encode_frame(request, self.max_frame))
+        response = self.recv_response()
+        if response.get("ok"):
+            return response.get("result")
+        raise ServerError(
+            response.get("error", "unknown server error"),
+            response.get("error_type", "ServerError"),
+        )
+
+    def send_raw(self, data: bytes) -> None:
+        """Send pre-encoded bytes verbatim (tests use this to send
+        deliberately malformed frames)."""
+        self._sock.sendall(data)
+
+    def recv_response(self) -> dict:
+        """Read one response frame off the socket."""
+        header = self._recv_exactly(LENGTH.size)
+        length = decode_length(header, self.max_frame)
+        return decode_payload(self._recv_exactly(length))
+
+    def _recv_exactly(self, n: int) -> bytes:
+        chunks = []
+        remaining = n
+        while remaining:
+            data = self._sock.recv(min(remaining, 65536))
+            if not data:
+                raise ProtocolError(
+                    f"server closed the connection mid-frame "
+                    f"({n - remaining} of {n} bytes read)"
+                )
+            chunks.append(data)
+            remaining -= len(data)
+        return b"".join(chunks)

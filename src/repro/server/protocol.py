@@ -1,0 +1,106 @@
+"""Wire protocol of the query server: length-prefixed JSON frames.
+
+A frame is a 4-byte big-endian unsigned length followed by exactly that
+many bytes of UTF-8 JSON.  Requests are objects::
+
+    {"sql": "<statement>"}            required
+    {"timeout": <seconds>}            optional per-statement deadline
+
+Responses are objects with ``ok``::
+
+    {"ok": true,  "result": <value>, "elapsed_ms": <float>}
+    {"ok": false, "error": "<message>", "error_type": "<ReproError class>"}
+
+Result values mirror :meth:`Database.sql` returns in JSON shape: a
+SELECT becomes ``{"columns": [...], "rows": [[...]], "row_count": n}``,
+ZOOM IN a list of texts, DELETE/UPDATE/ANNOTATE a number, DDL/INSERT
+``null``, EXPLAIN its rendered text.
+
+Framing errors are deliberately unforgiving: an oversized length or
+undecodable payload raises :class:`~repro.errors.ProtocolError` and the
+server answers with an error frame then drops the connection — a peer
+that cannot frame correctly cannot be trusted to stay in sync with the
+stream.  Statement errors (parse errors, lock timeouts, deadlines) are
+ordinary ``ok: false`` responses and the connection survives.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+
+from repro.errors import ProtocolError
+
+#: 4-byte big-endian unsigned frame length.
+LENGTH = struct.Struct(">I")
+
+#: Refuse frames beyond this many payload bytes (requests *and* results).
+MAX_FRAME = 8 * 1024 * 1024
+
+#: Default server port (0 = ephemeral, for tests).
+DEFAULT_PORT = 5433
+
+
+def encode_frame(obj: object, max_frame: int = MAX_FRAME) -> bytes:
+    """Serialize one length-prefixed JSON frame."""
+    payload = json.dumps(obj, separators=(",", ":")).encode("utf-8")
+    if len(payload) > max_frame:
+        raise ProtocolError(
+            f"frame of {len(payload)} bytes exceeds the {max_frame}-byte limit"
+        )
+    return LENGTH.pack(len(payload)) + payload
+
+
+def decode_length(header: bytes, max_frame: int = MAX_FRAME) -> int:
+    """Validate and unpack a frame header; returns the payload length."""
+    if len(header) != LENGTH.size:
+        raise ProtocolError(
+            f"truncated frame header ({len(header)} of {LENGTH.size} bytes)"
+        )
+    (length,) = LENGTH.unpack(header)
+    if length > max_frame:
+        raise ProtocolError(
+            f"frame of {length} bytes exceeds the {max_frame}-byte limit"
+        )
+    return length
+
+
+def decode_payload(payload: bytes) -> dict:
+    """Decode a frame payload into a request/response object."""
+    try:
+        obj = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"frame payload is not valid JSON: {exc}") from exc
+    if not isinstance(obj, dict):
+        raise ProtocolError(
+            f"frame payload must be a JSON object, got {type(obj).__name__}"
+        )
+    return obj
+
+
+def jsonable_result(result: object) -> object:
+    """Render a :meth:`Database.sql` return value as JSON-compatible data."""
+    from repro.core.database import QueryReport
+    from repro.query.result import ResultSet
+
+    if result is None or isinstance(result, (bool, int, float, str)):
+        return result
+    if isinstance(result, ResultSet):
+        return {
+            "columns": list(result.columns),
+            "rows": [
+                [_jsonable_value(v) for v in t.values] for t in result.tuples
+            ],
+            "row_count": len(result),
+        }
+    if isinstance(result, QueryReport):
+        return str(result)
+    if isinstance(result, (list, tuple)):
+        return [_jsonable_value(v) for v in result]
+    return str(result)
+
+
+def _jsonable_value(value: object) -> object:
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    return str(value)

@@ -1,0 +1,269 @@
+"""The asyncio query server: N concurrent clients over one engine.
+
+One :class:`QueryServer` wraps a :class:`~repro.core.database.Database`
+and serves the length-prefixed JSON protocol (``repro.server.protocol``)
+on a TCP socket.  Each connection gets its own locking
+:class:`~repro.txn.session.Session` — its transactions and table locks
+live exactly as long as the connection — and statements execute on a
+worker thread pool, so readers under shared locks genuinely overlap
+while the asyncio loop stays free to accept traffic.
+
+Disconnect handling is the part worth reading twice: while a statement
+runs on a worker thread, the loop concurrently watches the socket.  A
+client that hangs up mid-statement triggers
+:meth:`~repro.txn.session.Session.cancel` — the PR-5 cooperative
+cancellation path — so the statement dies at its next batch boundary or
+lock-wait slice and the session's locks are released with the
+connection, never leaked.  Bytes that arrive instead (a pipelining
+client) are kept as the prefix of the next frame.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.errors import ProtocolError, ReproError
+from repro.server.protocol import (
+    LENGTH,
+    MAX_FRAME,
+    decode_length,
+    decode_payload,
+    encode_frame,
+    jsonable_result,
+)
+
+#: Default statement worker threads per server.
+DEFAULT_WORKERS = 8
+
+
+class QueryServer:
+    """Serve one database to concurrent clients over TCP."""
+
+    def __init__(self, db, host: str = "127.0.0.1", port: int = 0,
+                 max_frame: int = MAX_FRAME, workers: int = DEFAULT_WORKERS):
+        self.db = db
+        self.host = host
+        self.port = port
+        self.max_frame = max_frame
+        self.workers = workers
+        self._server: asyncio.AbstractServer | None = None
+        self._executor: ThreadPoolExecutor | None = None
+
+    async def start(self) -> None:
+        """Bind and start accepting; ``self.port`` is the bound port
+        (resolves an ephemeral 0)."""
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.workers, thread_name_prefix="repro-stmt"
+        )
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        if self._executor is not None:
+            self._executor.shutdown(wait=False)
+            self._executor = None
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        async with self._server:
+            await self._server.serve_forever()
+
+    # -- connection handling -------------------------------------------------
+
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        session = self.db.session(locking=True)
+        self.db.metrics.inc("server.connections")
+        buffer = b""
+        try:
+            while True:
+                try:
+                    request, buffer = await self._read_frame(reader, buffer)
+                except ProtocolError as exc:
+                    # A peer that cannot frame is out of sync with the
+                    # stream: answer once, then hang up.
+                    await self._send(writer, {
+                        "ok": False, "error": str(exc),
+                        "error_type": "ProtocolError",
+                    })
+                    self.db.metrics.inc("server.errors")
+                    return
+                except (asyncio.IncompleteReadError, ConnectionError):
+                    return  # clean or mid-frame EOF between statements
+                if request is None:
+                    return  # EOF at a frame boundary: clean disconnect
+                response, buffer, alive = await self._run_request(
+                    session, reader, request, buffer
+                )
+                if response is not None:
+                    try:
+                        await self._send(writer, response)
+                    except ConnectionError:
+                        return
+                if not alive:
+                    return
+        finally:
+            # Aborts any open transaction and releases every lock: a
+            # dropped connection can never strand a table lock.
+            session.close()
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except ConnectionError:
+                pass
+
+    async def _run_request(self, session, reader, request: dict,
+                           buffer: bytes):
+        """Execute one request on the worker pool while watching the
+        socket; returns ``(response, buffer, connection_alive)``."""
+        sql = request.get("sql")
+        if not isinstance(sql, str) or not sql.strip():
+            self.db.metrics.inc("server.errors")
+            return (
+                {"ok": False, "error": "request needs a non-empty 'sql'",
+                 "error_type": "ProtocolError"},
+                buffer, True,
+            )
+        timeout = request.get("timeout")
+        if timeout is not None and not isinstance(timeout, (int, float)):
+            self.db.metrics.inc("server.errors")
+            return (
+                {"ok": False, "error": "'timeout' must be a number",
+                 "error_type": "ProtocolError"},
+                buffer, True,
+            )
+        self.db.metrics.inc("server.requests")
+        loop = asyncio.get_running_loop()
+        started = time.perf_counter()
+        stmt_future = loop.run_in_executor(
+            self._executor, session.execute, sql, timeout
+        )
+        peek = asyncio.ensure_future(reader.read(1))
+        disconnected = False
+        try:
+            while not stmt_future.done():
+                done, _pending = await asyncio.wait(
+                    {stmt_future, peek}, return_when=asyncio.FIRST_COMPLETED
+                )
+                if peek in done and not stmt_future.done():
+                    data = peek.result()
+                    if data:
+                        # The client pipelined its next frame; keep the
+                        # byte and go back to waiting on the statement.
+                        buffer += data
+                        peek = asyncio.ensure_future(reader.read(1))
+                        continue
+                    # EOF mid-statement: cancel through the cooperative
+                    # path and wait for the worker to unwind (it must
+                    # finish before the session's locks are released).
+                    disconnected = True
+                    session.cancel()
+                    self.db.metrics.inc("server.cancelled_disconnects")
+                    try:
+                        await stmt_future
+                    except Exception:
+                        pass
+                    return None, buffer, False
+        finally:
+            # The peek must be fully retired before anything else reads
+            # the stream: a cancelled asyncio read stays registered as
+            # the reader's waiter until the cancellation is *awaited*.
+            if not peek.done():
+                peek.cancel()
+            try:
+                data = await peek
+                # A byte that raced the statement's completion belongs
+                # to the next frame; b"" (EOF) resurfaces on next read.
+                if not disconnected and data:
+                    buffer += data
+            except (asyncio.CancelledError, ConnectionError):
+                pass
+        try:
+            result = stmt_future.result()
+        except ReproError as exc:
+            self.db.metrics.inc("server.errors")
+            return (
+                {"ok": False, "error": str(exc),
+                 "error_type": type(exc).__name__},
+                buffer, True,
+            )
+        elapsed_ms = (time.perf_counter() - started) * 1e3
+        try:
+            payload = jsonable_result(result)
+        except Exception as exc:  # never let rendering kill the server
+            self.db.metrics.inc("server.errors")
+            return (
+                {"ok": False, "error": f"unserializable result: {exc}",
+                 "error_type": "ServerError"},
+                buffer, True,
+            )
+        return (
+            {"ok": True, "result": payload,
+             "elapsed_ms": round(elapsed_ms, 3)},
+            buffer, True,
+        )
+
+    # -- framing over asyncio streams ----------------------------------------
+
+    async def _read_frame(self, reader: asyncio.StreamReader,
+                          buffer: bytes):
+        """Read one frame, honouring bytes already peeked into ``buffer``.
+        Returns ``(request, remaining_buffer)``; request is None on a
+        clean EOF at a frame boundary."""
+        header, buffer, eof = await self._read_exactly(
+            reader, LENGTH.size, buffer
+        )
+        if header is None:
+            if eof and buffer:
+                raise ProtocolError(
+                    f"connection closed mid-header ({len(buffer)} of "
+                    f"{LENGTH.size} bytes)"
+                )
+            return None, b""
+        length = decode_length(header, self.max_frame)
+        payload, buffer, _eof = await self._read_exactly(
+            reader, length, buffer
+        )
+        if payload is None:
+            raise ProtocolError(
+                f"connection closed mid-frame ({len(buffer)} of "
+                f"{length} payload bytes)"
+            )
+        return decode_payload(payload), buffer
+
+    @staticmethod
+    async def _read_exactly(reader: asyncio.StreamReader, n: int,
+                            buffer: bytes):
+        """``(chunk, rest, eof)``: ``chunk`` is ``n`` bytes or None when
+        the stream ended first (``rest`` then holds the partial tail)."""
+        while len(buffer) < n:
+            data = await reader.read(65536)
+            if not data:
+                return None, buffer, True
+            buffer += data
+        return buffer[:n], buffer[n:], False
+
+    async def _send(self, writer: asyncio.StreamWriter, obj: dict) -> None:
+        writer.write(encode_frame(obj, self.max_frame))
+        await writer.drain()
+
+
+async def serve(db, host: str = "127.0.0.1", port: int = 0,
+                workers: int = DEFAULT_WORKERS) -> None:
+    """Convenience runner: start a server and serve until cancelled."""
+    server = QueryServer(db, host=host, port=port, workers=workers)
+    await server.start()
+    print(f"repro server listening on {server.host}:{server.port}")
+    try:
+        await server.serve_forever()
+    finally:
+        await server.stop()

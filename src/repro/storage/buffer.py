@@ -16,10 +16,17 @@ the writer's current append position (its ``page_lsn``), and a dirty page
 whose LSN is beyond the flushed log tail is never written back — the pool
 forces a log flush through that LSN first, so no data page can reach disk
 describing a change whose log record could still be lost.
+
+The pool is **latched**: one reentrant mutex covers the frame map, the
+LRU order, the dirty/pin bits, and the LSN table, so concurrent sessions
+(readers under shared table locks run truly concurrently) cannot corrupt
+frame bookkeeping — the structures above the pool are protected by the
+coarser table locks; the latch protects the pool itself.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 
@@ -61,6 +68,9 @@ class BufferPool:
         #: disk proxy, so install_faults/remove_faults swapping ``disk``
         #: underneath cannot detach it.
         self.guard = None
+        #: pool latch (see module docstring). Reentrant: flush_all takes
+        #: it and calls flush_page, evictions write back under it.
+        self._latch = threading.RLock()
 
     # -- WAL ordering ---------------------------------------------------------
 
@@ -102,6 +112,7 @@ class BufferPool:
         state = self.__dict__.copy()
         state["wal"] = None
         state["_page_lsns"] = {}
+        state.pop("_latch", None)  # process state, unpicklable
         return state
 
     def __setstate__(self, state: dict) -> None:
@@ -110,6 +121,7 @@ class BufferPool:
         state.setdefault("_page_lsns", {})
         state.setdefault("guard", None)
         self.__dict__.update(state)
+        self._latch = threading.RLock()
 
     # -- checksums ------------------------------------------------------------
 
@@ -154,11 +166,14 @@ class BufferPool:
         Room is made *before* allocating so a failed eviction write cannot
         leak a freshly allocated but uncached disk page.
         """
-        self._make_room()
-        page_id = self.disk.allocate_page()
-        self._frames[page_id] = _Frame(bytearray(self.disk.page_size), dirty=True)
-        self._stamp_lsn(page_id)
-        return page_id
+        with self._latch:
+            self._make_room()
+            page_id = self.disk.allocate_page()
+            self._frames[page_id] = _Frame(
+                bytearray(self.disk.page_size), dirty=True
+            )
+            self._stamp_lsn(page_id)
+            return page_id
 
     def get_page(self, page_id: int) -> bytearray:
         """Return the cached bytes for ``page_id``, reading on a miss.
@@ -170,49 +185,53 @@ class BufferPool:
         protected pages) the checksum verified, so a failed or corrupt read
         can never leave a half-initialized frame in the pool.
         """
-        frame = self._frames.get(page_id)
-        if frame is not None:
-            self.hits += 1
-            self._frames.move_to_end(page_id)
-            return frame.data
-        self.misses += 1
-        if self.guard is None:
-            data = self._read_verified(page_id)
-        else:
-            # Read + verify retried as a unit: every attempt re-fetches
-            # from disk, so transient rot (a corrupted returned copy) heals
-            # on retry while persistent rot fails every attempt and still
-            # surfaces as CorruptPageError after the budget.
-            data = self.guard.call(
-                "read",
-                lambda: self._read_verified(page_id),
-                also_transient=(CorruptPageError,),
-            )
-        self._make_room()
-        self._frames[page_id] = _Frame(data)
-        return data
+        with self._latch:
+            frame = self._frames.get(page_id)
+            if frame is not None:
+                self.hits += 1
+                self._frames.move_to_end(page_id)
+                return frame.data
+            self.misses += 1
+            if self.guard is None:
+                data = self._read_verified(page_id)
+            else:
+                # Read + verify retried as a unit: every attempt re-fetches
+                # from disk, so transient rot (a corrupted returned copy)
+                # heals on retry while persistent rot fails every attempt
+                # and still surfaces as CorruptPageError after the budget.
+                data = self.guard.call(
+                    "read",
+                    lambda: self._read_verified(page_id),
+                    also_transient=(CorruptPageError,),
+                )
+            self._make_room()
+            self._frames[page_id] = _Frame(data)
+            return data
 
     def mark_dirty(self, page_id: int) -> None:
-        frame = self._frames.get(page_id)
-        if frame is None:
-            raise BufferPoolError(f"page {page_id} is not resident")
-        frame.dirty = True
-        self._stamp_lsn(page_id)
+        with self._latch:
+            frame = self._frames.get(page_id)
+            if frame is None:
+                raise BufferPoolError(f"page {page_id} is not resident")
+            frame.dirty = True
+            self._stamp_lsn(page_id)
 
     def put_page(self, page_id: int, data: bytearray) -> None:
         """Replace the cached contents of ``page_id`` and mark it dirty."""
-        frame = self._frames.get(page_id)
-        if frame is None:
-            # The page was not resident: account it like any other fault so
-            # hit_rate and page-access totals stay consistent with get_page.
-            self.misses += 1
-            self._make_room()
-            self._frames[page_id] = _Frame(data, dirty=True)
-        else:
-            frame.data = data
-            frame.dirty = True
-            self._frames.move_to_end(page_id)
-        self._stamp_lsn(page_id)
+        with self._latch:
+            frame = self._frames.get(page_id)
+            if frame is None:
+                # The page was not resident: account it like any other fault
+                # so hit_rate and page-access totals stay consistent with
+                # get_page.
+                self.misses += 1
+                self._make_room()
+                self._frames[page_id] = _Frame(data, dirty=True)
+            else:
+                frame.data = data
+                frame.dirty = True
+                self._frames.move_to_end(page_id)
+            self._stamp_lsn(page_id)
 
     def free_page(self, page_id: int) -> None:
         """Drop ``page_id`` from the pool and deallocate it on disk.
@@ -221,30 +240,33 @@ class BufferPool:
         pinned it (their bytearray would silently stop being the page), so
         that is an error, not a no-op.
         """
-        frame = self._frames.get(page_id)
-        if frame is not None and frame.pins > 0:
-            raise BufferPoolError(
-                f"page {page_id} is pinned ({frame.pins}x); cannot free"
-            )
-        self._frames.pop(page_id, None)
-        self._protected.discard(page_id)
-        self._page_lsns.pop(page_id, None)
-        self.disk.deallocate_page(page_id)
+        with self._latch:
+            frame = self._frames.get(page_id)
+            if frame is not None and frame.pins > 0:
+                raise BufferPoolError(
+                    f"page {page_id} is pinned ({frame.pins}x); cannot free"
+                )
+            self._frames.pop(page_id, None)
+            self._protected.discard(page_id)
+            self._page_lsns.pop(page_id, None)
+            self.disk.deallocate_page(page_id)
 
     # -- pinning -------------------------------------------------------------
 
     def pin(self, page_id: int) -> None:
-        frame = self._frames.get(page_id)
-        if frame is None:
-            self.get_page(page_id)
-            frame = self._frames[page_id]
-        frame.pins += 1
+        with self._latch:
+            frame = self._frames.get(page_id)
+            if frame is None:
+                self.get_page(page_id)
+                frame = self._frames[page_id]
+            frame.pins += 1
 
     def unpin(self, page_id: int) -> None:
-        frame = self._frames.get(page_id)
-        if frame is None or frame.pins == 0:
-            raise BufferPoolError(f"page {page_id} is not pinned")
-        frame.pins -= 1
+        with self._latch:
+            frame = self._frames.get(page_id)
+            if frame is None or frame.pins == 0:
+                raise BufferPoolError(f"page {page_id} is not pinned")
+            frame.pins -= 1
 
     # -- flushing ------------------------------------------------------------
 
@@ -258,11 +280,12 @@ class BufferPool:
         evicted earlier, or was never dirtied), so callers that must know
         whether I/O occurred check the return value instead of catching.
         """
-        frame = self._frames.get(page_id)
-        if frame is None or not frame.dirty:
-            return False
-        self._write_back(page_id, frame)
-        return True
+        with self._latch:
+            frame = self._frames.get(page_id)
+            if frame is None or not frame.dirty:
+                return False
+            self._write_back(page_id, frame)
+            return True
 
     def flush_all(self) -> None:
         """Write back every dirty frame.
@@ -272,15 +295,17 @@ class BufferPool:
         since no dirty page can carry an LSN beyond the writer's current
         append position.
         """
-        if self.wal is not None:
-            self.wal.flush()
-        for page_id in list(self._frames):
-            self.flush_page(page_id)
+        with self._latch:
+            if self.wal is not None:
+                self.wal.flush()
+            for page_id in list(self._frames):
+                self.flush_page(page_id)
 
     def clear(self) -> None:
         """Flush everything and empty the pool (simulates a cold cache)."""
-        self.flush_all()
-        self._frames.clear()
+        with self._latch:
+            self.flush_all()
+            self._frames.clear()
 
     # -- internal ------------------------------------------------------------
 

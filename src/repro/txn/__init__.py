@@ -1,0 +1,24 @@
+"""Concurrency layer: table locks, transactions, sessions.
+
+See :mod:`repro.txn.locks` (striped RW lock manager with timeout
+deadlock detection), :mod:`repro.txn.manager` (buffered-redo
+transactions over the WAL), and :mod:`repro.txn.session` (the
+per-caller statement surface).
+"""
+
+from repro.txn.locks import (
+    ANNOTATION_RESOURCE,
+    StripedLockManager,
+    default_lock_timeout,
+)
+from repro.txn.manager import Transaction, TransactionManager
+from repro.txn.session import Session
+
+__all__ = [
+    "ANNOTATION_RESOURCE",
+    "Session",
+    "StripedLockManager",
+    "Transaction",
+    "TransactionManager",
+    "default_lock_timeout",
+]

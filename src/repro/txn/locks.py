@@ -1,0 +1,263 @@
+"""Striped table-granularity reader/writer locks.
+
+The concurrency unit is the table (plus the ``ANNOTATION_RESOURCE``
+pseudo-table guarding the global annotation-id space): concurrent readers
+of a table proceed together while writers serialize, which matches the
+engine's write paths — every DML/annotation statement funnels through
+per-table structures (heap, OID index, summary storage).
+
+Design:
+
+* **Striping.**  The resource→lock map is split across ``num_stripes``
+  independently-mutexed shards, so sessions touching different tables
+  never contend on a single registry mutex.  The per-resource lock itself
+  is a condition-variable reader/writer lock with owner tracking.
+
+* **Reentrancy and upgrade.**  An owner may re-acquire a mode it already
+  holds (counted), take shared while holding exclusive (covered), and
+  *upgrade* shared→exclusive — the upgrade waits until it is the sole
+  reader.  Two transactions upgrading the same table deadlock by
+  construction; that is resolved by timeout, below.
+
+* **Deadlock detection by timeout.**  Waits are bounded
+  (``timeout``, default :func:`default_lock_timeout` /
+  ``REPRO_LOCK_TIMEOUT``).  A wait that expires raises
+  :class:`~repro.errors.LockTimeoutError`; the session layer treats the
+  waiter as the deadlock victim and auto-aborts its transaction,
+  releasing its locks so the other side proceeds.
+
+* **Cancellation integration.**  Waits poll in short slices and run the
+  statement's :class:`~repro.resilience.context.ExecutionContext` check
+  between slices, so a statement deadline or a client cancellation (e.g.
+  a dropped server connection) interrupts a lock wait exactly like it
+  interrupts an operator batch boundary.
+
+Counters (``lock.*``) land in the owning database's
+:class:`~repro.obs.metrics.MetricsRegistry`.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+
+from repro.errors import LockTimeoutError
+
+#: pseudo-resource serializing the global annotation-id space.
+ANNOTATION_RESOURCE = "__annotations__"
+
+#: seconds between cancellation checks while waiting on a lock.
+WAIT_SLICE = 0.05
+
+
+def default_lock_timeout() -> float:
+    """Lock-wait bound (= deadlock detection latency): the
+    ``REPRO_LOCK_TIMEOUT`` environment variable, else 5 seconds."""
+    raw = os.environ.get("REPRO_LOCK_TIMEOUT", "").strip()
+    try:
+        return float(raw) if raw else 5.0
+    except ValueError:
+        return 5.0
+
+
+class _ResourceLock:
+    """One reader/writer lock with owner-tracked reentrancy + upgrade."""
+
+    __slots__ = ("cond", "readers", "writer", "writer_depth", "waiting")
+
+    def __init__(self) -> None:
+        self.cond = threading.Condition()
+        #: owner -> shared acquisition count.
+        self.readers: dict[object, int] = {}
+        self.writer: object | None = None
+        self.writer_depth = 0
+        #: owners currently blocked on this lock (observability).
+        self.waiting = 0
+
+    # Grant rules. ``owner`` comparisons make the lock reentrant: an
+    # owner's own holds never block it (shared under its own exclusive,
+    # upgrade once it is the sole reader).
+
+    def _can_read(self, owner) -> bool:
+        return self.writer is None or self.writer == owner
+
+    def _can_write(self, owner) -> bool:
+        if self.writer is not None and self.writer != owner:
+            return False
+        others = [o for o in self.readers if o != owner]
+        return not others
+
+    def _wait_for(self, owner, predicate, deadline: float, ctx) -> None:
+        """Wait until ``predicate(owner)`` holds, in cancellation-checked
+        slices, raising :class:`LockTimeoutError` at ``deadline``."""
+        self.waiting += 1
+        try:
+            while not predicate(owner):
+                if ctx is not None:
+                    # Outside the condition so a cancellation can never
+                    # leave the condition lock held.
+                    self.cond.release()
+                    try:
+                        ctx.check()
+                    finally:
+                        self.cond.acquire()
+                    if predicate(owner):
+                        return
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise LockTimeoutError(
+                        "lock wait timed out (deadlock victim)"
+                    )
+                self.cond.wait(min(WAIT_SLICE, remaining))
+        finally:
+            self.waiting -= 1
+
+    def acquire_shared(self, owner, timeout: float, ctx=None) -> None:
+        with self.cond:
+            if owner in self.readers or self.writer == owner:
+                # Reentrant or covered by our own exclusive.
+                self.readers[owner] = self.readers.get(owner, 0) + 1
+                return
+            self._wait_for(
+                owner, self._can_read, time.monotonic() + timeout, ctx
+            )
+            self.readers[owner] = 1
+
+    def acquire_exclusive(self, owner, timeout: float, ctx=None) -> bool:
+        """Returns True when this acquisition was an upgrade from a
+        shared hold (the caller counts upgrades)."""
+        with self.cond:
+            if self.writer == owner:
+                self.writer_depth += 1
+                return False
+            upgrade = owner in self.readers
+            self._wait_for(
+                owner, self._can_write, time.monotonic() + timeout, ctx
+            )
+            self.writer = owner
+            self.writer_depth = 1
+            return upgrade
+
+    def release_owner(self, owner) -> None:
+        """Drop every hold ``owner`` has and wake the waiters."""
+        with self.cond:
+            self.readers.pop(owner, None)
+            if self.writer == owner:
+                self.writer = None
+                self.writer_depth = 0
+            self.cond.notify_all()
+
+
+class StripedLockManager:
+    """Per-table RW locks behind ``num_stripes`` independent registries."""
+
+    def __init__(self, num_stripes: int = 16, metrics=None,
+                 timeout: float | None = None):
+        self.num_stripes = max(1, num_stripes)
+        self.metrics = metrics
+        #: default lock-wait bound; per-call override wins.
+        self.timeout = timeout if timeout is not None else default_lock_timeout()
+        self._stripes: list[dict[str, _ResourceLock]] = [
+            {} for _ in range(self.num_stripes)
+        ]
+        self._stripe_locks = [
+            threading.Lock() for _ in range(self.num_stripes)
+        ]
+        #: owner -> set of resources held (guarded by the owner's session;
+        #: only mutated under the stripe lock for cleanup consistency).
+        self._held: dict[object, set[str]] = {}
+        self._held_lock = threading.Lock()
+
+    def _inc(self, key: str, n: int = 1) -> None:
+        if self.metrics is not None:
+            self.metrics.inc(key, n)
+
+    def _lock_for(self, resource: str) -> _ResourceLock:
+        resource = resource.lower()
+        stripe = hash(resource) % self.num_stripes
+        with self._stripe_locks[stripe]:
+            lock = self._stripes[stripe].get(resource)
+            if lock is None:
+                lock = self._stripes[stripe][resource] = _ResourceLock()
+            return lock
+
+    def _note_held(self, owner, resource: str) -> None:
+        with self._held_lock:
+            self._held.setdefault(owner, set()).add(resource.lower())
+
+    # -- acquisition --------------------------------------------------------
+
+    def acquire_shared(self, owner, resource: str,
+                       timeout: float | None = None, ctx=None) -> None:
+        lock = self._lock_for(resource)
+        started = time.monotonic()
+        try:
+            lock.acquire_shared(
+                owner, self.timeout if timeout is None else timeout, ctx
+            )
+        except LockTimeoutError:
+            self._inc("lock.timeouts")
+            raise LockTimeoutError(
+                f"timed out waiting for shared lock on {resource!r} "
+                "(deadlock victim)"
+            ) from None
+        self._note_held(owner, resource)
+        self._inc("lock.acquisitions.shared")
+        waited = time.monotonic() - started
+        if waited > WAIT_SLICE:
+            self._inc("lock.waits")
+
+    def acquire_exclusive(self, owner, resource: str,
+                          timeout: float | None = None, ctx=None) -> None:
+        lock = self._lock_for(resource)
+        started = time.monotonic()
+        try:
+            upgraded = lock.acquire_exclusive(
+                owner, self.timeout if timeout is None else timeout, ctx
+            )
+        except LockTimeoutError:
+            self._inc("lock.timeouts")
+            raise LockTimeoutError(
+                f"timed out waiting for exclusive lock on {resource!r} "
+                "(deadlock victim)"
+            ) from None
+        self._note_held(owner, resource)
+        self._inc("lock.acquisitions.exclusive")
+        if upgraded:
+            self._inc("lock.upgrades")
+        waited = time.monotonic() - started
+        if waited > WAIT_SLICE:
+            self._inc("lock.waits")
+
+    # -- release ------------------------------------------------------------
+
+    def release_all(self, owner) -> None:
+        """Drop every lock ``owner`` holds (statement end in autocommit,
+        COMMIT/ABORT for transactions)."""
+        with self._held_lock:
+            resources = self._held.pop(owner, set())
+        for resource in resources:
+            stripe = hash(resource) % self.num_stripes
+            with self._stripe_locks[stripe]:
+                lock = self._stripes[stripe].get(resource)
+            if lock is not None:
+                # Entries are never deleted — the registry is bounded by
+                # the number of distinct tables, and deletion would race
+                # with a concurrent ``_lock_for`` handout (two lock
+                # objects for one table breaks mutual exclusion).
+                lock.release_owner(owner)
+        if resources:
+            self._inc("lock.releases")
+
+    def held_by(self, owner) -> set[str]:
+        with self._held_lock:
+            return set(self._held.get(owner, ()))
+
+    def __len__(self) -> int:
+        """Live lock entries across all stripes (snapshot gauge)."""
+        total = 0
+        for stripe_lock, stripe in zip(self._stripe_locks, self._stripes):
+            with stripe_lock:
+                total += len(stripe)
+        return total

@@ -2,8 +2,17 @@
 
 The log is a byte stream of self-describing frames.  Each frame is::
 
-    [ lsn:u64 | type:u8 | stmt_id:u64 | payload_len:u32 | crc32:u32 ]
+    [ lsn:u64 | type:u8 | stmt_id:u64 | txn_id:u64 | payload_len:u32 | crc32:u32 ]
     [ payload (pickled dict) ]
+
+``txn_id`` is 0 for autocommit records (one statement = one implicit
+transaction, synced at the statement boundary — exactly the pre-txn-era
+contract) and non-zero for records belonging to an explicit
+BEGIN…COMMIT transaction.  Explicit transactions are *buffered-redo*: the
+whole group — a ``TXN_BEGIN`` frame, the DML redo records, a
+``TXN_COMMIT`` frame — is appended and synced at commit time, so recovery
+replays a transaction's records only when its commit frame made it to
+durable storage (see ``repro.wal.recovery``).
 
 ``lsn`` is the byte offset of the frame's first byte in the *logical* log
 stream (monotonic across checkpoint truncations — truncating re-bases the
@@ -27,7 +36,7 @@ from typing import Iterator
 
 from repro.errors import WALError
 
-_FRAME = struct.Struct("<QBQII")  # lsn, type, stmt_id, payload_len, crc32
+_FRAME = struct.Struct("<QBQQII")  # lsn, type, stmt_id, txn_id, payload_len, crc32
 FRAME_SIZE = _FRAME.size
 
 
@@ -46,12 +55,18 @@ class WALRecordType:
     ANN_ADD = 5
     #: Annotation delete by id.
     ANN_DEL = 6
+    #: Explicit transaction opens (first frame of a commit group).
+    TXN_BEGIN = 7
+    #: Explicit transaction commit — the durability point of its group.
+    TXN_COMMIT = 8
 
-    ALL = (DDL, INSERT, DELETE, UPDATE, ANN_ADD, ANN_DEL)
+    ALL = (DDL, INSERT, DELETE, UPDATE, ANN_ADD, ANN_DEL,
+           TXN_BEGIN, TXN_COMMIT)
 
     NAMES = {
         DDL: "ddl", INSERT: "insert", DELETE: "delete",
         UPDATE: "update", ANN_ADD: "ann_add", ANN_DEL: "ann_del",
+        TXN_BEGIN: "txn_begin", TXN_COMMIT: "txn_commit",
     }
 
 
@@ -63,6 +78,8 @@ class WALRecord:
     type: int
     stmt_id: int
     payload: dict
+    #: owning explicit transaction (0 = autocommit record).
+    txn_id: int = 0
 
     @property
     def end_lsn(self) -> int:
@@ -76,22 +93,24 @@ class WALRecord:
         return (
             f"WALRecord(lsn={self.lsn}, "
             f"type={WALRecordType.NAMES.get(self.type, self.type)}, "
-            f"stmt={self.stmt_id})"
+            f"stmt={self.stmt_id}, txn={self.txn_id})"
         )
 
 
-def _frame_crc(lsn: int, rtype: int, stmt_id: int, payload: bytes) -> int:
-    header = _FRAME.pack(lsn, rtype, stmt_id, len(payload), 0)
+def _frame_crc(lsn: int, rtype: int, stmt_id: int, txn_id: int,
+               payload: bytes) -> int:
+    header = _FRAME.pack(lsn, rtype, stmt_id, txn_id, len(payload), 0)
     return zlib.crc32(payload, zlib.crc32(header)) & 0xFFFFFFFF
 
 
-def encode_record(lsn: int, rtype: int, stmt_id: int, payload: dict) -> bytes:
+def encode_record(lsn: int, rtype: int, stmt_id: int, payload: dict,
+                  txn_id: int = 0) -> bytes:
     """Frame one record at log offset ``lsn``."""
     if rtype not in WALRecordType.ALL:
         raise WALError(f"unknown WAL record type {rtype}")
     body = pickle.dumps(payload)
-    crc = _frame_crc(lsn, rtype, stmt_id, body)
-    return _FRAME.pack(lsn, rtype, stmt_id, len(body), crc) + body
+    crc = _frame_crc(lsn, rtype, stmt_id, txn_id, body)
+    return _FRAME.pack(lsn, rtype, stmt_id, txn_id, len(body), crc) + body
 
 
 @dataclass
@@ -117,20 +136,22 @@ def scan_records(data: bytes, base_lsn: int) -> ScanResult:
     pos = 0
     n = len(data)
     while pos + FRAME_SIZE <= n:
-        lsn, rtype, stmt_id, payload_len, crc = _FRAME.unpack_from(data, pos)
+        lsn, rtype, stmt_id, txn_id, payload_len, crc = _FRAME.unpack_from(
+            data, pos
+        )
         if lsn != base_lsn + pos:
             break  # mis-positioned frame: garbage, not log
         end = pos + FRAME_SIZE + payload_len
         if end > n:
             break  # frame body truncated mid-sync
         body = bytes(data[pos + FRAME_SIZE:end])
-        if _frame_crc(lsn, rtype, stmt_id, body) != crc:
+        if _frame_crc(lsn, rtype, stmt_id, txn_id, body) != crc:
             break  # torn or bit-rotted frame
         try:
             payload = pickle.loads(body)
         except Exception:
             break  # CRC collided with undecodable bytes: treat as torn
-        records.append(WALRecord(lsn, rtype, stmt_id, payload))
+        records.append(WALRecord(lsn, rtype, stmt_id, payload, txn_id))
         pos = end
     return ScanResult(records, torn_bytes=n - pos, end_lsn=base_lsn + pos)
 

@@ -38,16 +38,19 @@ class WALWriter:
         if self.metrics is not None:
             self.metrics.inc(key, amount)
 
-    def append(self, rtype: int, payload: dict, stmt_id: int = 0) -> int:
+    def append(self, rtype: int, payload: dict, stmt_id: int = 0,
+               txn_id: int = 0) -> int:
         """Frame and append one record; returns its LSN.
 
         The record is buffered, not durable — call :meth:`sync` (or rely
         on the statement-boundary sync) to force it to the device.
+        ``txn_id`` stamps the record as part of an explicit transaction's
+        commit group (0 = autocommit).
         """
         if rtype not in WALRecordType.ALL:
             raise WALError(f"unknown WAL record type {rtype}")
         lsn = self._next_lsn
-        frame = encode_record(lsn, rtype, stmt_id, payload)
+        frame = encode_record(lsn, rtype, stmt_id, payload, txn_id=txn_id)
         self.device.append(frame)
         self._next_lsn = lsn + len(frame)
         self._inc("wal.records")
