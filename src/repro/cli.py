@@ -329,38 +329,77 @@ def repair_image(image: str, out: str | None = None) -> int:
 
 
 def serve_command(args: list[str]) -> int:
-    """``python -m repro serve [image] [--host H] [--port P]``: run the
-    asyncio query server over a fresh database or a loaded image.
+    """``python -m repro serve [image] [--host H] [--port P] [--workers N]
+    [--max-connections N] [--drain-timeout S] [--idle-timeout S]``: run
+    the asyncio query server over a fresh database or a loaded image.
 
-    Exit status: 0 on a clean shutdown (Ctrl-C), 2 on bad arguments or
+    SIGTERM and SIGINT (Ctrl-C) trigger a graceful drain: the server
+    stops accepting, in-flight statements get the drain deadline to
+    finish, stragglers are cooperatively cancelled, and every session
+    closes before exit — no lock or transaction survives shutdown.
+
+    Exit status: 0 on a clean (drained) shutdown, 2 on bad arguments or
     an unloadable image.
     """
     import asyncio
 
     from repro.errors import CorruptImageError
     from repro.server import DEFAULT_PORT
-    from repro.server.server import serve
+    from repro.server.server import DEFAULT_WORKERS, serve
 
+    usage = ("usage: python -m repro serve [image] [--host H] [--port P] "
+             "[--workers N] [--max-connections N] [--drain-timeout S] "
+             "[--idle-timeout S]")
     host, port, image = "127.0.0.1", DEFAULT_PORT, None
+    workers = DEFAULT_WORKERS
+    server_kwargs: dict = {}
+
+    def _number(raw, cast):
+        try:
+            return cast(raw)
+        except (TypeError, ValueError):
+            return None
+
     it = iter(args)
     for arg in it:
         if arg == "--host":
             host = next(it, None)
         elif arg == "--port":
-            raw = next(it, None)
-            try:
-                port = int(raw)
-            except (TypeError, ValueError):
-                print("usage: python -m repro serve [image] "
-                      "[--host H] [--port P]")
+            port = _number(next(it, None), int)
+            if port is None:
+                print(usage)
                 return 2
+        elif arg == "--workers":
+            workers = _number(next(it, None), int)
+            if workers is None or workers < 1:
+                print(usage)
+                return 2
+        elif arg == "--max-connections":
+            cap = _number(next(it, None), int)
+            if cap is None:
+                print(usage)
+                return 2
+            server_kwargs["max_connections"] = cap if cap > 0 else None
+        elif arg == "--drain-timeout":
+            value = _number(next(it, None), float)
+            if value is None or value < 0:
+                print(usage)
+                return 2
+            server_kwargs["drain_timeout"] = value
+        elif arg == "--idle-timeout":
+            value = _number(next(it, None), float)
+            if value is None or value < 0:
+                print(usage)
+                return 2
+            if value > 0:
+                server_kwargs["idle_timeout"] = value
         elif image is None and not arg.startswith("-"):
             image = arg
         else:
-            print("usage: python -m repro serve [image] [--host H] [--port P]")
+            print(usage)
             return 2
     if host is None:
-        print("usage: python -m repro serve [image] [--host H] [--port P]")
+        print(usage)
         return 2
     if image is not None:
         try:
@@ -371,8 +410,11 @@ def serve_command(args: list[str]) -> int:
     else:
         db = Database()
     try:
-        asyncio.run(serve(db, host=host, port=port))
+        asyncio.run(serve(db, host=host, port=port, workers=workers,
+                          **server_kwargs))
     except KeyboardInterrupt:
+        # Signal handlers normally drain before this is reachable; a
+        # second Ctrl-C mid-drain lands here.
         print("\nshutting down")
     return 0
 

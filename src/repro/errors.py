@@ -158,7 +158,7 @@ class LockTimeoutError(TransactionError):
 
 class ProtocolError(ReproError):
     """Raised on a malformed wire frame (bad length prefix, oversized
-    payload, undecodable JSON, wrong request shape)."""
+    payload, checksum mismatch, undecodable JSON, wrong request shape)."""
 
 
 class ServerError(ReproError):
@@ -168,3 +168,45 @@ class ServerError(ReproError):
     def __init__(self, message: str, error_type: str = "ServerError"):
         super().__init__(message)
         self.error_type = error_type
+
+
+class ServerOverloadedError(ReproError):
+    """Raised (and sent as a typed error frame) when the server sheds a
+    connection or statement under admission control: the connection cap
+    was reached, the statement queue was full, or the queue deadline
+    passed before a worker picked the statement up.
+
+    The shed request was **never executed** — retrying it is always
+    safe, which is what lets :class:`~repro.server.resilient.
+    ResilientQueryClient` transparently retry even writes on overload.
+    """
+
+
+class ServerShuttingDownError(ServerOverloadedError):
+    """Raised for statements rejected because the server is draining:
+    it has stopped accepting work and is finishing (or cancelling)
+    what's in flight. Like its parent, the statement was never
+    executed and a retry — against this server after restart, or
+    another replica — is safe."""
+
+
+class ClientTimeoutError(ReproError):
+    """Raised by :class:`~repro.server.client.QueryClient` when the
+    server does not produce a complete response within the client's
+    ``response_timeout``. The socket is closed (a half-read frame can
+    never be resynchronized), so the connection is gone; whether the
+    statement executed server-side is unknown."""
+
+
+class AmbiguousStatementError(ReproError):
+    """Raised by :class:`~repro.server.resilient.ResilientQueryClient`
+    when a connection died after a non-read-only statement was sent but
+    before its response arrived: the statement may or may not have
+    executed, so a transparent retry could apply it twice. The caller
+    must reconcile (re-read state) before retrying.
+
+    ``cause`` carries the underlying transport error."""
+
+    def __init__(self, message: str, cause: BaseException | None = None):
+        super().__init__(message)
+        self.cause = cause

@@ -27,6 +27,12 @@ from repro.faults.disk import (
     installed_faults,
     remove_faults,
 )
+from repro.faults.network import (
+    NETWORK_OPS,
+    NetworkFault,
+    NetworkFaultKind,
+    NetworkFaultPlan,
+)
 from repro.faults.plan import Fault, FaultKind, FaultPlan
 
 __all__ = [
@@ -34,6 +40,10 @@ __all__ = [
     "FaultKind",
     "FaultPlan",
     "FaultyDiskManager",
+    "NETWORK_OPS",
+    "NetworkFault",
+    "NetworkFaultKind",
+    "NetworkFaultPlan",
     "install_faults",
     "installed_faults",
     "remove_faults",

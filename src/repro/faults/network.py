@@ -1,0 +1,238 @@
+"""Network fault schedules for the query server.
+
+The serving-layer sibling of :class:`~repro.faults.plan.FaultPlan`: a
+:class:`NetworkFaultPlan` maps (network operation, operation index) to a
+:class:`NetworkFault`, and the :class:`~repro.server.server.QueryServer`
+consults it at its three I/O points — ``accept`` (a connection was
+admitted), ``read`` (one request frame is about to be read), ``write``
+(one response frame is about to be written).  Indexes are 0-based and
+counted per operation by the server, so "reset the 3rd response write"
+is ``plan.reset_write(at=2)``; ``period`` makes a fault recur and
+``times`` caps its total firings, exactly like the disk plans.
+
+Four fault kinds model the ways a network actually betrays a server:
+
+* ``reset``    — the peer (or a middlebox) tears the connection down;
+  the server sees a hard connection loss at that point.
+* ``stall``    — the operation hangs for ``stall_seconds`` before
+  proceeding; drives idle/response-timeout handling.
+* ``partial_frame`` — only a seeded prefix of the response frame
+  reaches the wire before the connection drops; the client must treat
+  the half-frame as an error, never as a short success.
+* ``garble``   — seeded bytes of the frame are corrupted in flight;
+  the frame checksum (``repro.server.protocol``) must catch it.
+
+Everything random (prefix lengths, corrupted byte positions) comes from
+one ``random.Random(seed)``, so a failing chaos schedule is reproducible
+from its seed alone.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.errors import StorageError
+
+
+class NetworkFaultKind:
+    """The four injected network fault classes."""
+
+    #: The connection is torn down at this operation (RST / hangup).
+    RESET = "reset"
+    #: The operation hangs for ``stall_seconds`` before proceeding.
+    STALL = "stall"
+    #: Only a prefix of the frame reaches the wire, then the
+    #: connection drops (write only).
+    PARTIAL_FRAME = "partial_frame"
+    #: Seeded bytes of the frame are corrupted in flight.
+    GARBLE = "garble"
+
+    ALL = (RESET, STALL, PARTIAL_FRAME, GARBLE)
+
+
+#: Server I/O points a network fault can target.
+NETWORK_OPS = ("accept", "read", "write")
+
+
+@dataclass(frozen=True)
+class NetworkFault:
+    """One scheduled network fault.
+
+    ``op`` is one of :data:`NETWORK_OPS`; ``at`` is the 0-based
+    operation index at which the fault fires; a non-None ``period``
+    makes it recur every ``period`` operations after ``at``; ``times``
+    caps total firings (None = unlimited).
+    """
+
+    kind: str
+    op: str
+    at: int
+    period: int | None = None
+    #: Stalls: seconds the operation hangs before proceeding.
+    stall_seconds: float = 0.05
+    #: Partial frames: bytes of the frame that reach the wire
+    #: (None = seeded from the plan's rng at injection time).
+    partial_bytes: int | None = None
+    #: Garbles: number of byte positions to corrupt (positions seeded).
+    garble_bytes: int = 4
+    times: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in NetworkFaultKind.ALL:
+            raise StorageError(f"unknown network fault kind {self.kind!r}")
+        if self.op not in NETWORK_OPS:
+            raise StorageError(
+                f"network fault op must be one of {NETWORK_OPS}, "
+                f"not {self.op!r}"
+            )
+        if self.kind == NetworkFaultKind.PARTIAL_FRAME and self.op != "write":
+            raise StorageError("partial-frame faults apply to writes only")
+        if self.kind == NetworkFaultKind.GARBLE and self.op == "accept":
+            raise StorageError("garble faults apply to reads and writes")
+        if self.at < 0 or (self.period is not None and self.period < 1):
+            raise StorageError(
+                f"bad fault schedule: at={self.at} period={self.period}"
+            )
+        if self.times is not None and self.times < 1:
+            raise StorageError(f"bad fault budget: times={self.times}")
+        if self.stall_seconds < 0:
+            raise StorageError(
+                f"bad stall duration: {self.stall_seconds}"
+            )
+
+    def fires_at(self, index: int) -> bool:
+        if index == self.at:
+            return True
+        if self.period is None:
+            return False
+        return index > self.at and (index - self.at) % self.period == 0
+
+
+class NetworkFaultPlan:
+    """A deterministic, seeded schedule of network faults."""
+
+    def __init__(self, seed: int = 0):
+        self.seed = seed
+        self.rng = random.Random(seed)
+        self.faults: list[NetworkFault] = []
+        #: remaining firing budget per fault position (lazy; the
+        #: NetworkFault itself is frozen).
+        self._budget: dict[int, int] = {}
+
+    def schedule(self, fault: NetworkFault) -> "NetworkFaultPlan":
+        self.faults.append(fault)
+        return self
+
+    # -- builder shorthands (all chainable) ----------------------------------
+
+    def reset_accept(self, at: int, period: int | None = None,
+                     times: int | None = None) -> "NetworkFaultPlan":
+        """Tear down the ``at``-th admitted connection immediately."""
+        return self.schedule(NetworkFault(
+            NetworkFaultKind.RESET, "accept", at, period, times=times))
+
+    def reset_read(self, at: int, period: int | None = None,
+                   times: int | None = None) -> "NetworkFaultPlan":
+        """Connection loss before the ``at``-th request frame is read."""
+        return self.schedule(NetworkFault(
+            NetworkFaultKind.RESET, "read", at, period, times=times))
+
+    def reset_write(self, at: int, period: int | None = None,
+                    times: int | None = None) -> "NetworkFaultPlan":
+        """Connection loss before the ``at``-th response frame is sent."""
+        return self.schedule(NetworkFault(
+            NetworkFaultKind.RESET, "write", at, period, times=times))
+
+    def stall_read(self, at: int, seconds: float = 0.05,
+                   period: int | None = None,
+                   times: int | None = None) -> "NetworkFaultPlan":
+        """Hang the ``at``-th request read for ``seconds``."""
+        return self.schedule(NetworkFault(
+            NetworkFaultKind.STALL, "read", at, period,
+            stall_seconds=seconds, times=times))
+
+    def stall_write(self, at: int, seconds: float = 0.05,
+                    period: int | None = None,
+                    times: int | None = None) -> "NetworkFaultPlan":
+        """Hang the ``at``-th response write for ``seconds``."""
+        return self.schedule(NetworkFault(
+            NetworkFaultKind.STALL, "write", at, period,
+            stall_seconds=seconds, times=times))
+
+    def partial_write(self, at: int, partial_bytes: int | None = None,
+                      period: int | None = None,
+                      times: int | None = None) -> "NetworkFaultPlan":
+        """Send only a prefix of the ``at``-th response frame, then drop
+        the connection (prefix length seeded when not given)."""
+        return self.schedule(NetworkFault(
+            NetworkFaultKind.PARTIAL_FRAME, "write", at, period,
+            partial_bytes=partial_bytes, times=times))
+
+    def garble_read(self, at: int, garble_bytes: int = 4,
+                    period: int | None = None,
+                    times: int | None = None) -> "NetworkFaultPlan":
+        """Corrupt seeded bytes of the ``at``-th request frame."""
+        return self.schedule(NetworkFault(
+            NetworkFaultKind.GARBLE, "read", at, period,
+            garble_bytes=garble_bytes, times=times))
+
+    def garble_write(self, at: int, garble_bytes: int = 4,
+                     period: int | None = None,
+                     times: int | None = None) -> "NetworkFaultPlan":
+        """Corrupt seeded bytes of the ``at``-th response frame."""
+        return self.schedule(NetworkFault(
+            NetworkFaultKind.GARBLE, "write", at, period,
+            garble_bytes=garble_bytes, times=times))
+
+    # -- matching ------------------------------------------------------------
+
+    def match(self, op: str, index: int) -> NetworkFault | None:
+        """First scheduled fault firing for the ``index``-th ``op``
+        (pure lookup; budgets are not consulted)."""
+        for fault in self.faults:
+            if fault.op == op and fault.fires_at(index):
+                return fault
+        return None
+
+    def consume(self, op: str, index: int) -> NetworkFault | None:
+        """Like :meth:`match`, but honours and decrements firing
+        budgets; the decrement happens before the caller acts on the
+        fault, so accounting is exception-safe (same contract as
+        :meth:`FaultPlan.consume`)."""
+        for position, fault in enumerate(self.faults):
+            if fault.op != op or not fault.fires_at(index):
+                continue
+            if fault.times is not None:
+                remaining = self._budget.get(position, fault.times)
+                if remaining <= 0:
+                    continue
+                self._budget[position] = remaining - 1
+            return fault
+        return None
+
+    def garble(self, data: bytes, count: int) -> bytes:
+        """Corrupt ``count`` seeded byte positions of ``data`` (each
+        XORed with a seeded non-zero mask, so the byte always changes)."""
+        if not data:
+            return data
+        corrupted = bytearray(data)
+        for _ in range(count):
+            position = self.rng.randrange(len(corrupted))
+            corrupted[position] ^= self.rng.randrange(1, 256)
+        return bytes(corrupted)
+
+    def partial_length(self, frame_len: int, fault: NetworkFault) -> int:
+        """Bytes of a ``frame_len``-byte frame that reach the wire for
+        ``fault`` (the scheduled prefix, else a seeded proper prefix)."""
+        if fault.partial_bytes is not None:
+            return max(0, min(fault.partial_bytes, frame_len - 1))
+        if frame_len <= 1:
+            return 0
+        return self.rng.randrange(1, frame_len)
+
+    def __len__(self) -> int:
+        return len(self.faults)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"NetworkFaultPlan(seed={self.seed}, faults={self.faults!r})"

@@ -52,6 +52,23 @@ Naming convention used by the engine::
     server.connections / server.requests / server.errors
                                  asyncio query server (repro.server)
     server.cancelled_disconnects statements cancelled by client hangup
+    server.shed                  requests shed by admission control, with
+                                 per-cause children: server.shed.connections
+                                 (connection cap) / server.shed.queue_full /
+                                 server.shed.queue_deadline /
+                                 server.shed.draining
+    server.queue_depth           gauge: statements parked in the admission
+                                 queue right now
+    server.active_connections    gauge: connections currently admitted
+    server.idle_closed           connections dropped by the idle timeout
+    server.health_requests       {"op": "health"} frames answered
+    server.drains                graceful drains begun (stop() calls)
+    server.drain_cancelled       in-flight statements cooperatively
+                                 cancelled at the drain deadline
+    server.faults.injected[.<kind>]
+                                 injected network faults (repro.faults
+                                 NetworkFaultPlan): reset / stall /
+                                 partial_frame / garble
 """
 
 from __future__ import annotations
@@ -67,6 +84,7 @@ class MetricsRegistry:
     def __init__(self) -> None:
         self.counters: dict[str, int] = {}
         self.timers: dict[str, float] = {}
+        self.gauges: dict[str, float] = {}
         self._mutex = threading.Lock()
 
     # -- pickling (the registry rides inside Database images) -----------------
@@ -74,11 +92,13 @@ class MetricsRegistry:
     def __getstate__(self) -> dict:
         with self._mutex:
             return {"counters": dict(self.counters),
-                    "timers": dict(self.timers)}
+                    "timers": dict(self.timers),
+                    "gauges": dict(self.gauges)}
 
     def __setstate__(self, state: dict) -> None:
         self.counters = state.get("counters", {})
         self.timers = state.get("timers", {})
+        self.gauges = state.get("gauges", {})
         self._mutex = threading.Lock()
 
     # -- counters -------------------------------------------------------------
@@ -89,6 +109,17 @@ class MetricsRegistry:
 
     def get(self, name: str, default: int = 0) -> int:
         return self.counters.get(name, default)
+
+    # -- gauges ---------------------------------------------------------------
+
+    def set_gauge(self, name: str, value: float) -> None:
+        """Set a point-in-time level (queue depth, open connections) —
+        unlike counters these go down; snapshots report the last value."""
+        with self._mutex:
+            self.gauges[name] = value
+
+    def get_gauge(self, name: str, default: float = 0) -> float:
+        return self.gauges.get(name, default)
 
     # -- timers ---------------------------------------------------------------
 
@@ -112,6 +143,7 @@ class MetricsRegistry:
         ``<name>.seconds``)."""
         with self._mutex:
             out: dict[str, float] = dict(self.counters)
+            out.update(self.gauges)
             for name, seconds in self.timers.items():
                 out[f"{name}.seconds"] = seconds
         return out
@@ -131,3 +163,4 @@ class MetricsRegistry:
         with self._mutex:
             self.counters.clear()
             self.timers.clear()
+            self.gauges.clear()

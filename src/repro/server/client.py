@@ -6,19 +6,33 @@ the shape benchmark workers and tests want.  Error responses surface as
 :class:`~repro.errors.ServerError` carrying the server-side exception
 class name in ``error_type``, so a caller can tell a lock timeout from
 a parse error without string-matching messages.
+
+Two defences keep a client from being dragged down by a sick peer:
+
+* ``response_timeout`` bounds how long a response read may block; a
+  stalled or half-dead server raises a typed
+  :class:`~repro.errors.ClientTimeoutError` and the socket is closed
+  (a half-read frame can never be resynchronized).
+* Frames are checksummed both ways (``protocol.CRC_FLAG``); bytes
+  garbled in flight surface as :class:`~repro.errors.ProtocolError`,
+  never as a silently wrong result.
+
+For reconnect-with-backoff and retry-safety classification on top of
+this, see :class:`~repro.server.resilient.ResilientQueryClient`.
 """
 
 from __future__ import annotations
 
 import socket
 
-from repro.errors import ProtocolError, ServerError
+from repro.errors import ClientTimeoutError, ProtocolError, ServerError
 from repro.server.protocol import (
     LENGTH,
     MAX_FRAME,
-    decode_length,
+    decode_header,
     decode_payload,
     encode_frame,
+    verify_crc,
 )
 
 
@@ -28,16 +42,24 @@ class QueryClient:
 
     def __init__(self, host: str = "127.0.0.1", port: int = 0,
                  connect_timeout: float = 5.0,
+                 response_timeout: float | None = None,
                  max_frame: int = MAX_FRAME):
         self.host = host
         self.port = port
         self.max_frame = max_frame
+        #: None blocks forever on reads (statements may legitimately run
+        #: long); a number bounds every response read.
+        self.response_timeout = response_timeout
         self._sock = socket.create_connection(
             (host, port), timeout=connect_timeout
         )
-        # Statements may legitimately run long (lock waits, big scans);
-        # the per-connect timeout must not kill the response read.
-        self._sock.settimeout(None)
+        # The per-connect timeout must not kill the response read: from
+        # here on the socket blocks per response_timeout (None = forever).
+        self._sock.settimeout(response_timeout)
+        #: True from the first byte of a request hitting the wire until
+        #: its full response arrived — the window in which a connection
+        #: loss leaves the statement's outcome unknown.
+        self.request_in_flight = False
 
     def __enter__(self) -> "QueryClient":
         return self
@@ -59,8 +81,19 @@ class QueryClient:
         request: dict = {"sql": sql}
         if timeout is not None:
             request["timeout"] = timeout
-        self.send_raw(encode_frame(request, self.max_frame))
+        return self.request(request)
+
+    def health(self) -> dict:
+        """Fetch the server's liveness/health snapshot (answered inline
+        server-side — never queued, still answered while draining)."""
+        return self.request({"op": "health"})
+
+    def request(self, request: dict):
+        """Send one request object and read its response."""
+        self.request_in_flight = True
+        self.send_raw(encode_frame(request, self.max_frame, crc=True))
         response = self.recv_response()
+        self.request_in_flight = False
         if response.get("ok"):
             return response.get("result")
         raise ServerError(
@@ -76,14 +109,30 @@ class QueryClient:
     def recv_response(self) -> dict:
         """Read one response frame off the socket."""
         header = self._recv_exactly(LENGTH.size)
-        length = decode_length(header, self.max_frame)
-        return decode_payload(self._recv_exactly(length))
+        length, has_crc = decode_header(header, self.max_frame)
+        declared_crc = None
+        if has_crc:
+            (declared_crc,) = LENGTH.unpack(self._recv_exactly(LENGTH.size))
+        payload = self._recv_exactly(length)
+        if declared_crc is not None:
+            verify_crc(payload, declared_crc)
+        return decode_payload(payload)
 
     def _recv_exactly(self, n: int) -> bytes:
         chunks = []
         remaining = n
         while remaining:
-            data = self._sock.recv(min(remaining, 65536))
+            try:
+                data = self._sock.recv(min(remaining, 65536))
+            except socket.timeout:
+                # A half-read frame cannot be resynchronized: the
+                # connection is unusable, close it so the server's
+                # disconnect watcher cancels the statement.
+                self.close()
+                raise ClientTimeoutError(
+                    f"no complete response within {self.response_timeout}s "
+                    f"({n - remaining} of {n} bytes read); socket closed"
+                ) from None
             if not data:
                 raise ProtocolError(
                     f"server closed the connection mid-frame "

@@ -1,10 +1,23 @@
 """Wire protocol of the query server: length-prefixed JSON frames.
 
-A frame is a 4-byte big-endian unsigned length followed by exactly that
-many bytes of UTF-8 JSON.  Requests are objects::
+A frame is a 4-byte big-endian length word followed by the payload.
+The top bit of the length word is the **checksum flag**: when set, a
+4-byte big-endian CRC32 of the payload sits between the length word and
+the payload, and the remaining 31 bits give the payload length.  Both
+the server and :class:`~repro.server.client.QueryClient` send
+checksummed frames by default — a garbled or half-delivered frame then
+surfaces as a typed :class:`~repro.errors.ProtocolError`, never as a
+silently wrong result — while plain frames (flag clear) remain accepted
+for wire compatibility and hand-rolled test clients.
 
-    {"sql": "<statement>"}            required
+Requests are objects::
+
+    {"sql": "<statement>"}            required (unless "op" is given)
     {"timeout": <seconds>}            optional per-statement deadline
+                                      (clamped to the server's max)
+    {"op": "health"}                  liveness/health probe — answered
+                                      inline, never queued, even while
+                                      the server drains
 
 Responses are objects with ``ok``::
 
@@ -14,25 +27,33 @@ Responses are objects with ``ok``::
 Result values mirror :meth:`Database.sql` returns in JSON shape: a
 SELECT becomes ``{"columns": [...], "rows": [[...]], "row_count": n}``,
 ZOOM IN a list of texts, DELETE/UPDATE/ANNOTATE a number, DDL/INSERT
-``null``, EXPLAIN its rendered text.
+``null``, EXPLAIN its rendered text.  A health probe's result is the
+server's :meth:`~repro.server.server.QueryServer.health` dict (status,
+queue depth, connection counts, degraded access paths).
 
-Framing errors are deliberately unforgiving: an oversized length or
-undecodable payload raises :class:`~repro.errors.ProtocolError` and the
-server answers with an error frame then drops the connection — a peer
-that cannot frame correctly cannot be trusted to stay in sync with the
-stream.  Statement errors (parse errors, lock timeouts, deadlines) are
-ordinary ``ok: false`` responses and the connection survives.
+Framing errors are deliberately unforgiving: an oversized length,
+checksum mismatch, or undecodable payload raises
+:class:`~repro.errors.ProtocolError` and the server answers with an
+error frame then drops the connection — a peer that cannot frame
+correctly cannot be trusted to stay in sync with the stream.  Statement
+errors (parse errors, lock timeouts, deadlines) and admission sheds
+(:class:`~repro.errors.ServerOverloadedError`) are ordinary
+``ok: false`` responses and the connection survives.
 """
 
 from __future__ import annotations
 
 import json
 import struct
+import zlib
 
 from repro.errors import ProtocolError
 
-#: 4-byte big-endian unsigned frame length.
+#: 4-byte big-endian unsigned frame length (and CRC32 word).
 LENGTH = struct.Struct(">I")
+
+#: Top bit of the length word: a CRC32 word follows the header.
+CRC_FLAG = 0x8000_0000
 
 #: Refuse frames beyond this many payload bytes (requests *and* results).
 MAX_FRAME = 8 * 1024 * 1024
@@ -41,28 +62,59 @@ MAX_FRAME = 8 * 1024 * 1024
 DEFAULT_PORT = 5433
 
 
-def encode_frame(obj: object, max_frame: int = MAX_FRAME) -> bytes:
-    """Serialize one length-prefixed JSON frame."""
+def frame_crc(payload: bytes) -> int:
+    """CRC32 of a frame payload (what the checksum word carries)."""
+    return zlib.crc32(payload) & 0xFFFF_FFFF
+
+
+def encode_frame(obj: object, max_frame: int = MAX_FRAME,
+                 crc: bool = False) -> bytes:
+    """Serialize one length-prefixed JSON frame; ``crc=True`` sets the
+    checksum flag and prepends the payload CRC32."""
     payload = json.dumps(obj, separators=(",", ":")).encode("utf-8")
     if len(payload) > max_frame:
         raise ProtocolError(
             f"frame of {len(payload)} bytes exceeds the {max_frame}-byte limit"
         )
+    if crc:
+        return (LENGTH.pack(len(payload) | CRC_FLAG)
+                + LENGTH.pack(frame_crc(payload)) + payload)
     return LENGTH.pack(len(payload)) + payload
 
 
-def decode_length(header: bytes, max_frame: int = MAX_FRAME) -> int:
-    """Validate and unpack a frame header; returns the payload length."""
+def decode_header(header: bytes,
+                  max_frame: int = MAX_FRAME) -> tuple[int, bool]:
+    """Validate and unpack a frame header; returns
+    ``(payload_length, has_crc)``."""
     if len(header) != LENGTH.size:
         raise ProtocolError(
             f"truncated frame header ({len(header)} of {LENGTH.size} bytes)"
         )
-    (length,) = LENGTH.unpack(header)
+    (word,) = LENGTH.unpack(header)
+    has_crc = bool(word & CRC_FLAG)
+    length = word & ~CRC_FLAG
     if length > max_frame:
         raise ProtocolError(
             f"frame of {length} bytes exceeds the {max_frame}-byte limit"
         )
-    return length
+    return length, has_crc
+
+
+def decode_length(header: bytes, max_frame: int = MAX_FRAME) -> int:
+    """Validate and unpack a frame header; returns the payload length
+    (checksum flag masked off — use :func:`decode_header` when the flag
+    matters)."""
+    return decode_header(header, max_frame)[0]
+
+
+def verify_crc(payload: bytes, expected: int) -> None:
+    """Raise :class:`ProtocolError` when ``payload`` fails its checksum."""
+    actual = frame_crc(payload)
+    if actual != expected:
+        raise ProtocolError(
+            f"frame checksum mismatch (crc {actual:#010x} != "
+            f"declared {expected:#010x}): bytes were corrupted in flight"
+        )
 
 
 def decode_payload(payload: bytes) -> dict:

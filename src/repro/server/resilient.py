@@ -1,0 +1,219 @@
+"""Self-healing client: reconnect-with-backoff + retry-safety rules.
+
+:class:`ResilientQueryClient` wraps :class:`~repro.server.client
+.QueryClient` with the PR-5 seeded :class:`~repro.resilience.RetryPolicy`
+and transparently survives the transport failures the chaos battery
+injects — connection resets, stalled responses, garbled frames, a
+server draining for restart — **without ever risking a double
+execution**.  The retry-safety rules:
+
+* **Connect failures** always retry (nothing was sent).
+* **Overload sheds** (``ServerOverloadedError`` /
+  ``ServerShuttingDownError`` error frames) always retry: the server
+  guarantees a shed statement never started executing, so re-offering
+  it — after backoff, when a worker may be free — is safe even for
+  writes.  A ``ProtocolError`` answer (the request frame failed its
+  checksum after in-flight corruption) carries the same guarantee and
+  retries the same way, after reconnecting.
+* **Transport failures with a request in flight** (reset, response
+  timeout, garbled or half-delivered response) retry only when the
+  statement is *read-only* (SELECT / EXPLAIN / ZOOM / transaction-less
+  SHOW-style statements): re-reading is idempotent.  For anything that
+  writes, the statement may or may not have executed server-side, so
+  the client surfaces a typed
+  :class:`~repro.errors.AmbiguousStatementError` carrying the
+  underlying cause — the caller must reconcile before retrying.
+* **Statement errors** (parse errors, lock timeouts, deadlines, …)
+  never retry; they are answers, not failures.
+
+Transactions are deliberately not retried across reconnects: a
+reconnect lands on a fresh server session, so an open ``BEGIN`` died
+with the old connection (the server aborts it).  Statements issued
+inside an explicit transaction are treated as non-idempotent.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.errors import (
+    AmbiguousStatementError,
+    ClientTimeoutError,
+    ProtocolError,
+    ServerError,
+)
+from repro.resilience import RetryPolicy
+from repro.server.client import QueryClient
+from repro.server.protocol import MAX_FRAME
+
+#: Statement prefixes that are safe to re-send after an ambiguous
+#: transport failure (re-reading committed state is idempotent).
+READ_ONLY_PREFIXES = ("select", "explain", "zoom")
+
+#: Error types the server guarantees were shed *before* execution —
+#: always retryable, reads and writes alike.
+SHED_ERROR_TYPES = ("ServerOverloadedError", "ServerShuttingDownError")
+
+#: A ``ProtocolError`` answer means the request frame never decoded
+#: server-side (e.g. its checksum failed after in-flight corruption):
+#: the statement never executed, so it is as retryable as a shed — the
+#: server hangs up after answering, so the retry reconnects first.
+NEVER_EXECUTED_ERROR_TYPES = SHED_ERROR_TYPES + ("ProtocolError",)
+
+#: Transport-level failures that leave an in-flight statement's
+#: outcome unknown.
+_TRANSPORT_ERRORS = (ConnectionError, ClientTimeoutError, ProtocolError,
+                     OSError)
+
+
+def is_read_only(sql: str) -> bool:
+    """True when re-executing ``sql`` cannot change database state."""
+    return sql.strip().lower().startswith(READ_ONLY_PREFIXES)
+
+
+class ResilientQueryClient:
+    """A :class:`QueryClient` that heals itself across reconnects.
+
+    ``retry`` is a seeded :class:`RetryPolicy`: ``max_attempts`` bounds
+    total attempts per statement (connect failures included) and its
+    backoff schedule spaces reconnects.  ``in_txn`` tracking disables
+    transparent retry inside explicit transactions.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0,
+                 retry: RetryPolicy | None = None,
+                 connect_timeout: float = 5.0,
+                 response_timeout: float | None = None,
+                 max_frame: int = MAX_FRAME,
+                 sleep=time.sleep):
+        self.host = host
+        self.port = port
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.connect_timeout = connect_timeout
+        self.response_timeout = response_timeout
+        self.max_frame = max_frame
+        self._sleep = sleep
+        self._client: QueryClient | None = None
+        #: statements retried transparently (observability for tests).
+        self.retries = 0
+        #: reconnects performed (initial connect not counted).
+        self.reconnects = 0
+        self._in_txn = False
+
+    def __enter__(self) -> "ResilientQueryClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def close(self) -> None:
+        if self._client is not None:
+            self._client.close()
+            self._client = None
+
+    # -- connection management -----------------------------------------------
+
+    def _connect(self) -> QueryClient:
+        if self._client is None:
+            self._client = QueryClient(
+                self.host, self.port,
+                connect_timeout=self.connect_timeout,
+                response_timeout=self.response_timeout,
+                max_frame=self.max_frame,
+            )
+        return self._client
+
+    def _drop_connection(self) -> None:
+        if self._client is not None:
+            self._client.close()
+            self._client = None
+            self.reconnects += 1
+        # A dead connection killed any server-side transaction with it.
+        self._in_txn = False
+
+    # -- execution ------------------------------------------------------------
+
+    def execute(self, sql: str, timeout: float | None = None):
+        """Run one statement with transparent, outcome-safe retries."""
+        return self._request_with_retry(
+            sql, lambda client: client.execute(sql, timeout=timeout)
+        )
+
+    def health(self) -> dict:
+        """Fetch the server's health snapshot (always safe to retry)."""
+        return self._request_with_retry(
+            "select", lambda client: client.health()
+        )
+
+    def _request_with_retry(self, sql: str, send):
+        stripped = sql.strip().lower()
+        attempt = 0
+        last_error: BaseException | None = None
+        while attempt < self.retry.max_attempts:
+            attempt += 1
+            try:
+                client = self._connect()
+            except OSError as exc:
+                # Nothing was ever sent: connect failures always retry.
+                last_error = exc
+                self._backoff(attempt)
+                continue
+            try:
+                result = send(client)
+            except ServerError as exc:
+                if (exc.error_type in NEVER_EXECUTED_ERROR_TYPES
+                        and not self._in_txn):
+                    # Shed (or never even decoded) before execution:
+                    # safe to re-offer, even a write — but not inside
+                    # an explicit transaction (the reconnect would land
+                    # on a fresh session), so only autocommit
+                    # statements ride through.
+                    last_error = exc
+                    self.retries += 1
+                    if exc.error_type != "ServerOverloadedError":
+                        # Draining servers and framing breaches drop
+                        # the connection with the answer; reconnect
+                        # before retrying.
+                        self._drop_connection()
+                    self._backoff(attempt)
+                    continue
+                if exc.error_type in ("LockTimeoutError",
+                                      "TransactionAbortedError"):
+                    # The server force-aborted the open transaction.
+                    self._in_txn = False
+                raise
+            except _TRANSPORT_ERRORS as exc:
+                in_flight = client.request_in_flight
+                was_in_txn = self._in_txn
+                self._drop_connection()
+                last_error = exc
+                if in_flight and (was_in_txn or not is_read_only(sql)):
+                    raise AmbiguousStatementError(
+                        "connection lost with the statement in flight: "
+                        "it may or may not have executed server-side "
+                        f"({type(exc).__name__}: {exc}); reconcile "
+                        "before retrying",
+                        cause=exc,
+                    ) from exc
+                self.retries += 1
+                self._backoff(attempt)
+                continue
+            self._track_txn(stripped)
+            return result
+        raise last_error if last_error is not None else RuntimeError(
+            "retry budget exhausted with no recorded error"
+        )  # pragma: no cover - last_error is always set on exhaustion
+
+    def _track_txn(self, stripped_sql: str) -> None:
+        """Mirror the server-side transaction state so retry-safety can
+        refuse transparent retries inside an explicit transaction."""
+        if stripped_sql.startswith("begin"):
+            self._in_txn = True
+        elif stripped_sql.startswith(("commit", "abort", "rollback")):
+            self._in_txn = False
+
+    def _backoff(self, attempt: int) -> None:
+        if attempt < self.retry.max_attempts:
+            delay = self.retry.delay(attempt)
+            if delay > 0:
+                self._sleep(delay)

@@ -1,0 +1,305 @@
+"""ResilientQueryClient: retry-safety classification and healing.
+
+The stub-driven tests pin the classification matrix exactly — which
+failures retry, which reconnect first, and which must surface as
+:class:`~repro.errors.AmbiguousStatementError` — without sockets or
+timing.  The integration tests at the end prove the same client heals
+over a real server.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.catalog.schema import Column
+from repro.core.database import Database
+from repro.errors import (
+    AmbiguousStatementError,
+    ClientTimeoutError,
+    ProtocolError,
+    ServerError,
+)
+from repro.resilience import RetryPolicy
+from repro.server import QueryClient, ResilientQueryClient, is_read_only
+from repro.storage.record import ValueType
+from tests.test_server import ServerHarness
+
+
+class TestIsReadOnly:
+    def test_reads(self):
+        assert is_read_only("Select * From t")
+        assert is_read_only("  select 1")
+        assert is_read_only("EXPLAIN Select * From t")
+        assert is_read_only("Zoom Summary On t")
+
+    def test_writes_and_txns(self):
+        assert not is_read_only("Insert Into t Values (1)")
+        assert not is_read_only("Delete From t")
+        assert not is_read_only("Update t Set v = 1")
+        assert not is_read_only("BEGIN")
+        assert not is_read_only("COMMIT")
+        assert not is_read_only("Create Table x (v INT)")
+
+
+class _StubClient:
+    """Scripted QueryClient stand-in.  Each script entry is either a
+    plain value (returned) or ``(exception, in_flight)`` (raised, with
+    ``request_in_flight`` left at ``in_flight``)."""
+
+    def __init__(self, script: list):
+        self.script = script
+        self.request_in_flight = False
+        self.calls = 0
+        self.closes = 0
+
+    def close(self):
+        self.closes += 1
+
+    def _next(self):
+        self.calls += 1
+        outcome = self.script.pop(0)
+        if isinstance(outcome, tuple):
+            exc, in_flight = outcome
+            self.request_in_flight = in_flight
+            raise exc
+        self.request_in_flight = False
+        if isinstance(outcome, BaseException):
+            raise outcome
+        return outcome
+
+    def execute(self, sql, timeout=None):
+        return self._next()
+
+    def health(self):
+        return self._next()
+
+
+def make_client(script: list, max_attempts: int = 4,
+                **retry_kwargs) -> tuple[ResilientQueryClient, _StubClient,
+                                         list]:
+    stub = _StubClient(script)
+    sleeps: list[float] = []
+    client = ResilientQueryClient(
+        retry=RetryPolicy(max_attempts=max_attempts, base_delay=0.001,
+                          **retry_kwargs),
+        sleep=sleeps.append,
+    )
+    client._connect = lambda: stub  # type: ignore[method-assign]
+    # _drop_connection still clears state; give it a closeable target.
+    client._client = stub
+    return client, stub, sleeps
+
+
+def shed(kind: str = "ServerOverloadedError") -> ServerError:
+    return ServerError("shed", kind)
+
+
+class TestClassificationMatrix:
+    def test_transport_failure_retries_read(self):
+        client, stub, sleeps = make_client(
+            [(ConnectionResetError("boom"), True), {"row_count": 1}])
+        assert client.execute("Select * From t") == {"row_count": 1}
+        assert client.retries == 1
+        assert len(sleeps) == 1
+
+    def test_transport_failure_on_write_is_ambiguous(self):
+        client, stub, _ = make_client(
+            [(ConnectionResetError("boom"), True), "never reached"])
+        with pytest.raises(AmbiguousStatementError) as exc_info:
+            client.execute("Insert Into t Values (1)")
+        assert isinstance(exc_info.value.cause, ConnectionResetError)
+        assert client.retries == 0
+        assert stub.script == ["never reached"]  # no second attempt
+
+    def test_transport_failure_before_send_retries_write(self):
+        # in_flight False: the request never hit the wire, so even a
+        # write is safe to re-offer.
+        client, _, _ = make_client(
+            [(ConnectionResetError("boom"), False), None])
+        assert client.execute("Insert Into t Values (1)") is None
+        assert client.retries == 1
+
+    def test_client_timeout_counts_as_transport(self):
+        client, _, _ = make_client(
+            [(ClientTimeoutError("slow"), True), {"row_count": 1}])
+        assert client.execute("Select * From t")["row_count"] == 1
+
+    def test_overload_shed_retries_even_writes(self):
+        client, stub, _ = make_client([shed(), shed(), None])
+        assert client.execute("Insert Into t Values (1)") is None
+        assert client.retries == 2
+        # Plain sheds keep the connection: no reconnect happened.
+        assert client.reconnects == 0
+
+    def test_shutting_down_shed_reconnects_before_retry(self):
+        client, stub, _ = make_client(
+            [shed("ServerShuttingDownError"), None])
+        assert client.execute("Insert Into t Values (1)") is None
+        assert client.reconnects == 1
+        assert stub.closes == 1
+
+    def test_protocol_error_answer_reconnects_and_retries(self):
+        # The server answered "your frame never decoded" and hung up:
+        # the statement never executed, so even a write retries.
+        client, _, _ = make_client(
+            [ServerError("checksum mismatch", "ProtocolError"), None])
+        assert client.execute("Insert Into t Values (1)") is None
+        assert client.retries == 1
+        assert client.reconnects == 1
+
+    def test_statement_errors_never_retry(self):
+        client, stub, sleeps = make_client(
+            [ServerError("no such table", "BindError"), "never"])
+        with pytest.raises(ServerError) as exc_info:
+            client.execute("Select * From missing")
+        assert exc_info.value.error_type == "BindError"
+        assert client.retries == 0 and sleeps == []
+
+    def test_budget_exhaustion_raises_last_error(self):
+        client, _, _ = make_client(
+            [shed(), shed(), shed(), shed()], max_attempts=3)
+        with pytest.raises(ServerError) as exc_info:
+            client.execute("Select * From t")
+        assert exc_info.value.error_type == "ServerOverloadedError"
+        assert client.retries == 3
+
+    def test_connect_failures_always_retry(self):
+        sleeps: list[float] = []
+        attempts = {"n": 0}
+        stub = _StubClient([{"row_count": 1}])
+        client = ResilientQueryClient(
+            retry=RetryPolicy(max_attempts=4, base_delay=0.001),
+            sleep=sleeps.append,
+        )
+
+        def flaky_connect():
+            attempts["n"] += 1
+            if attempts["n"] < 3:
+                raise ConnectionRefusedError("not up yet")
+            return stub
+
+        client._connect = flaky_connect  # type: ignore[method-assign]
+        assert client.execute("Select * From t")["row_count"] == 1
+        assert attempts["n"] == 3
+        assert len(sleeps) == 2
+
+
+class TestTransactionSafety:
+    def test_txn_tracking_follows_begin_commit(self):
+        client, _, _ = make_client([None, None, None, None])
+        client.execute("BEGIN")
+        assert client._in_txn
+        client.execute("Insert Into t Values (1)")
+        assert client._in_txn
+        client.execute("COMMIT")
+        assert not client._in_txn
+
+    def test_shed_inside_txn_is_not_retried(self):
+        client, stub, _ = make_client([None, shed(), "never"])
+        client.execute("BEGIN")
+        with pytest.raises(ServerError) as exc_info:
+            client.execute("Insert Into t Values (1)")
+        assert exc_info.value.error_type == "ServerOverloadedError"
+        assert client.retries == 0
+
+    def test_transport_failure_inside_txn_is_ambiguous_even_for_reads(self):
+        client, _, _ = make_client(
+            [None, (ConnectionResetError("boom"), True), "never"])
+        client.execute("BEGIN")
+        with pytest.raises(AmbiguousStatementError):
+            client.execute("Select * From t")
+        # The dead connection killed the server-side transaction.
+        assert not client._in_txn
+
+    def test_server_side_abort_clears_txn_state(self):
+        client, _, _ = make_client(
+            [None, ServerError("victim", "LockTimeoutError"),
+             shed(), None])
+        client.execute("BEGIN")
+        with pytest.raises(ServerError):
+            client.execute("Insert Into t Values (1)")
+        assert not client._in_txn
+        # Out of the txn again: sheds retry transparently once more.
+        assert client.execute("Insert Into t Values (2)") is None
+        assert client.retries == 1
+
+    def test_failed_begin_does_not_enter_txn(self):
+        client, _, _ = make_client(
+            [ServerError("nested", "TransactionError")])
+        with pytest.raises(ServerError):
+            client.execute("BEGIN")
+        assert not client._in_txn
+
+
+class TestBackoffSchedule:
+    def test_sleeps_follow_policy_delays(self):
+        policy = RetryPolicy(max_attempts=4, base_delay=0.01,
+                             max_delay=0.04)
+        client, _, sleeps = make_client(
+            [shed(), shed(), shed(), None])
+        client.retry = policy
+        client.execute("Select * From t")
+        assert sleeps == [policy.delay(1), policy.delay(2),
+                          policy.delay(3)]
+
+    def test_no_sleep_after_final_attempt(self):
+        client, _, sleeps = make_client(
+            [shed(), shed()], max_attempts=2)
+        with pytest.raises(ServerError):
+            client.execute("Select * From t")
+        # One backoff between the two attempts, none after the last.
+        assert len(sleeps) == 1
+
+
+class TestOverRealServer:
+    @pytest.fixture()
+    def harness(self):
+        db = Database(buffer_pages=32)
+        db.create_table("t", [Column("name", ValueType.TEXT),
+                              Column("v", ValueType.INT)])
+        for i in range(5):
+            db.insert("t", [f"r{i}", i])
+        h = ServerHarness(db, workers=2, max_connections=8)
+        try:
+            yield h
+        finally:
+            h.stop()
+
+    def test_survives_connection_loss_between_statements(self, harness):
+        client = ResilientQueryClient(
+            port=harness.port,
+            retry=RetryPolicy(max_attempts=4, base_delay=0.01),
+        )
+        assert client.execute("Select * From t")["row_count"] == 5
+        # Sever the transport out from under the client.
+        client._client._sock.close()
+        assert client.execute("Select * From t")["row_count"] == 5
+        assert client.reconnects >= 1
+        client.close()
+
+    def test_health_passthrough(self, harness):
+        with ResilientQueryClient(
+            port=harness.port,
+            retry=RetryPolicy(max_attempts=3, base_delay=0.01),
+        ) as client:
+            health = client.health()
+        assert health["status"] == "ok"
+        assert health["workers"] == 2
+
+    def test_plain_client_response_timeout_is_typed(self, harness):
+        """Satellite regression: the old client's ``settimeout(None)``
+        waited forever; ``response_timeout`` now bounds every read."""
+        db = harness.db
+        db.lock_manager.acquire_exclusive("holder", "t")
+        try:
+            client = QueryClient(port=harness.port, response_timeout=0.3)
+            with pytest.raises(ClientTimeoutError):
+                client.execute("Insert Into t Values ('x', 1)",
+                               timeout=30)
+            # The socket is closed after the timeout: unusable by
+            # contract, never half-read.
+            with pytest.raises((ProtocolError, ConnectionError, OSError)):
+                client.execute("Select * From t")
+            client.close()
+        finally:
+            db.lock_manager.release_all("holder")
