@@ -38,7 +38,7 @@ def _joined_db(preset, density):
     rng = random.Random(77)
     config = WorkloadConfig(cell_fraction=0.0)
     for oid, _values in list(db.catalog.table("synonyms").scan()):
-        db.manager.add_annotations_bulk(
+        db.add_annotations_bulk(
             annotation_batch(rng, oid, config, max(1, density // 5),
                              table="synonyms")
         )

@@ -50,7 +50,7 @@ def _db_with_replica(preset, density):
     config = WorkloadConfig(cell_fraction=0.0)
     for oid, _values in list(db.catalog.table("synonyms").scan()):
         count = max(1, density // 5)
-        db.manager.add_annotations_bulk(
+        db.add_annotations_bulk(
             annotation_batch(rng, oid, config, count, table="synonyms")
         )
     db.create_table("t_rep", [

@@ -61,25 +61,38 @@ class LeafNode:
 
     entries: list[Entry] = field(default_factory=list)
     next_leaf: int = -1  # page id of right sibling, -1 for none
+    #: Cached serialized size; ``None`` means recompute.  Kept current by
+    #: :meth:`insert_entry`/:meth:`remove_entry`; bulk reslices of
+    #: ``entries`` must call :meth:`invalidate_size`.
+    _size: int | None = field(default=None, repr=False, compare=False)
 
     def serialized_size(self) -> int:
-        return 1 + 2 + 4 + sum(entry_size(e) for e in self.entries)
+        if self._size is None:
+            self._size = 1 + 2 + 4 + sum(entry_size(e) for e in self.entries)
+        return self._size
+
+    def insert_entry(self, pos: int, entry: Entry) -> None:
+        self.entries.insert(pos, entry)
+        if self._size is not None:
+            self._size += entry_size(entry)
+
+    def remove_entry(self, pos: int) -> None:
+        entry = self.entries.pop(pos)
+        if self._size is not None:
+            self._size -= entry_size(entry)
+
+    def invalidate_size(self) -> None:
+        self._size = None
 
     def to_bytes(self, page_size: int) -> bytearray:
-        data = bytearray(page_size)
-        data[0] = LEAF_TAG
-        _U16.pack_into(data, 1, len(self.entries))
-        _I32.pack_into(data, 3, self.next_leaf)
-        pos = 7
+        pack = _U16.pack
+        parts = [bytes([LEAF_TAG]), pack(len(self.entries)),
+                 _I32.pack(self.next_leaf)]
         for key, value in self.entries:
-            _U16.pack_into(data, pos, len(key))
-            pos += 2
-            data[pos:pos + len(key)] = key
-            pos += len(key)
-            _U16.pack_into(data, pos, len(value))
-            pos += 2
-            data[pos:pos + len(value)] = value
-            pos += len(value)
+            parts += (pack(len(key)), key, pack(len(value)), value)
+        body = b"".join(parts)
+        data = bytearray(page_size)
+        data[:len(body)] = body
         return data
 
     @classmethod
@@ -101,7 +114,8 @@ class LeafNode:
                 entries.append((key, value))
         except struct.error as exc:
             raise CorruptPageError(f"corrupt leaf node: {exc}") from exc
-        return cls(entries, next_leaf)
+        # ``pos`` ends exactly at the serialized size: seed the cache.
+        return cls(entries, next_leaf, _size=pos)
 
 
 @dataclass
@@ -110,30 +124,41 @@ class InternalNode:
 
     separators: list[Entry] = field(default_factory=list)
     children: list[int] = field(default_factory=list)  # page ids
+    #: Cached serialized size; see :class:`LeafNode`.
+    _size: int | None = field(default=None, repr=False, compare=False)
 
     def serialized_size(self) -> int:
-        return 1 + 2 + 4 + sum(separator_size(s) for s in self.separators)
+        if self._size is None:
+            self._size = 1 + 2 + 4 + sum(
+                separator_size(s) for s in self.separators
+            )
+        return self._size
+
+    def insert_separator(self, pos: int, separator: Entry,
+                         child: int) -> None:
+        """Insert ``separator`` with ``child`` as its right subtree."""
+        self.separators.insert(pos, separator)
+        self.children.insert(pos + 1, child)
+        if self._size is not None:
+            self._size += separator_size(separator)
+
+    def invalidate_size(self) -> None:
+        self._size = None
 
     def to_bytes(self, page_size: int) -> bytearray:
         if len(self.children) != len(self.separators) + 1:
             raise StorageError("internal node child/separator mismatch")
-        data = bytearray(page_size)
-        data[0] = INTERNAL_TAG
-        _U16.pack_into(data, 1, len(self.separators))
-        _U32.pack_into(data, 3, self.children[0])
-        pos = 7
+        pack16 = _U16.pack
+        pack32 = _U32.pack
+        parts = [bytes([INTERNAL_TAG]), pack16(len(self.separators)),
+                 pack32(self.children[0])]
         for sep, child in zip(self.separators, self.children[1:]):
             key, value = sep
-            _U16.pack_into(data, pos, len(key))
-            pos += 2
-            data[pos:pos + len(key)] = key
-            pos += len(key)
-            _U16.pack_into(data, pos, len(value))
-            pos += 2
-            data[pos:pos + len(value)] = value
-            pos += len(value)
-            _U32.pack_into(data, pos, child)
-            pos += 4
+            parts += (pack16(len(key)), key, pack16(len(value)), value,
+                      pack32(child))
+        body = b"".join(parts)
+        data = bytearray(page_size)
+        data[:len(body)] = body
         return data
 
     @classmethod
@@ -159,7 +184,7 @@ class InternalNode:
                 children.append(child)
         except struct.error as exc:
             raise CorruptPageError(f"corrupt internal node: {exc}") from exc
-        return cls(separators, children)
+        return cls(separators, children, _size=pos)
 
 
 def parse_node(data: bytes | bytearray) -> LeafNode | InternalNode:

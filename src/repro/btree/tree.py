@@ -102,7 +102,7 @@ class BTree:
             or (pos > 0 and leaf.entries[pos - 1][0] == key)
         ):
             raise DuplicateKeyError(f"duplicate key in unique index: {key!r}")
-        leaf.entries.insert(pos, entry)
+        leaf.insert_entry(pos, entry)
         self._len += 1
         if leaf.serialized_size() <= self.page_size:
             self._write(leaf_id, leaf)
@@ -119,7 +119,7 @@ class BTree:
         pos = bisect.bisect_left(leaf.entries, entry)
         if pos >= len(leaf.entries) or leaf.entries[pos] != entry:
             return False
-        del leaf.entries[pos]
+        leaf.remove_entry(pos)
         self._write(leaf_id, leaf)
         self._len -= 1
         return True
@@ -351,6 +351,7 @@ class BTree:
             right = LeafNode(node.entries[mid:], node.next_leaf)
             right_id = self.pool.new_page()
             node.entries = node.entries[:mid]
+            node.invalidate_size()
             node.next_leaf = right_id
             separator = right.entries[0]
             self._write(right_id, right)
@@ -364,6 +365,7 @@ class BTree:
             right_id = self.pool.new_page()
             node.separators = node.separators[:mid]
             node.children = node.children[:mid + 1]
+            node.invalidate_size()
             self._write(right_id, right)
             self._write(page_id, node)
 
@@ -379,8 +381,7 @@ class BTree:
         parent = self._read(parent_id)
         assert isinstance(parent, InternalNode)
         pos = bisect.bisect_right(parent.separators, separator)
-        parent.separators.insert(pos, separator)
-        parent.children.insert(pos + 1, right_id)
+        parent.insert_separator(pos, separator, right_id)
         if parent.serialized_size() <= self.page_size:
             self._write(parent_id, parent)
         else:

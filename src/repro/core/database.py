@@ -36,6 +36,7 @@ from repro.errors import (
     IndexError_,
     IntegrityError,
     QueryError,
+    ReproError,
     SummaryError,
 )
 from repro.index.baseline import BaselineClassifierIndex
@@ -60,7 +61,7 @@ from repro.query.ast import (
     ZoomIn,
 )
 from repro.query.parser import parse_sql
-from repro.query.result import ResultSet
+from repro.query.result import ResultSet, ZoomResult
 from repro.resilience import (
     AccessPathHealth,
     CircuitBreaker,
@@ -143,6 +144,46 @@ def _env_locks() -> bool:
     return raw not in ("", "0", "false", "off", "no")
 
 
+def _env_summary_async() -> str:
+    """Summary-maintenance mode from ``REPRO_SUMMARY_ASYNC``.
+
+    ``"off"`` (default): classic synchronous incremental maintenance
+    inside every annotation write.  Any truthy value enables *deferred
+    writes*: the write path only appends the raw annotation and marks the
+    affected tuples stale.  A generic truthy value (``1``, CI's
+    whole-suite switch) selects ``"coherent"`` — stale tuples are
+    regenerated at every statement boundary, so reads are observably
+    identical to sync mode and the entire test suite doubles as an
+    equivalence proof of the regeneration path.  The explicit value
+    ``deferred`` selects the fully asynchronous mode: a background worker
+    drains staleness and reads serve the last-generated objects with
+    ``summary_status`` surfaced (what ``Database(summary_async=True)``
+    means).
+    """
+    raw = os.environ.get("REPRO_SUMMARY_ASYNC", "").strip().lower()
+    if raw in ("", "0", "false", "off", "no"):
+        return "off"
+    if raw == "deferred":
+        return "deferred"
+    return "coherent"
+
+
+def _normalize_summary_async(value) -> str:
+    """Map the ``summary_async`` constructor argument to a mode string."""
+    if value is None:
+        return _env_summary_async()
+    if value is True:
+        return "deferred"
+    if value is False:
+        return "off"
+    mode = str(value).strip().lower()
+    if mode not in ("off", "coherent", "deferred"):
+        raise ValueError(
+            f"summary_async must be off/coherent/deferred, got {value!r}"
+        )
+    return mode
+
+
 def _logged_ddl(fn):
     """Wrap a DDL method so top-level calls append a DDL redo record.
 
@@ -223,6 +264,7 @@ class Database:
         disk: DiskManager | None = None,
         cache_bytes: int | None = None,
         batch_exec: bool | None = None,
+        summary_async: bool | str | None = None,
     ):
         # Metrics first: the resilience layer and (under REPRO_FAULT_INJECT)
         # the fault-injecting disk both count through the registry.
@@ -272,6 +314,12 @@ class Database:
         #: vectorized batch execution (column-batch Volcano); None reads
         #: the REPRO_BATCH_EXEC env var.
         self.batch_exec = _env_batch_exec() if batch_exec is None else batch_exec
+        #: summary-maintenance mode: "off" (sync incremental), "coherent"
+        #: (defer + regenerate at statement boundaries) or "deferred"
+        #: (background worker + summary_status). None reads
+        #: REPRO_SUMMARY_ASYNC; True means "deferred".
+        self.summary_async = _normalize_summary_async(summary_async)
+        self.manager.async_mode = self.summary_async
         self._init_concurrency()
 
     def _init_concurrency(self) -> None:
@@ -288,6 +336,70 @@ class Database:
         self._session_local = threading.local()
         self.lock_manager = StripedLockManager(metrics=self.metrics)
         self.txn_manager = TransactionManager(self)
+        # Background maintenance plumbing: regenerations serialize against
+        # writers on the commit mutex, deletions are checked against the
+        # catalog, and deferred-mode writes wake the worker thread.
+        self.manager.regen_lock = self._commit_mutex
+        self.manager.tuple_exists = self._summary_tuple_exists
+        self.manager.maint_wake = self._maint_wake
+        self._maint_worker = None
+
+    # -- background summary maintenance ----------------------------------------------
+
+    def _summary_tuple_exists(self, table: str, oid: int) -> bool:
+        """Regeneration guard: never resurrect a deleted data tuple's
+        summary row.  Answers True when unverifiable (unknown table) —
+        false negatives would drop live summaries, false positives only
+        regenerate a row the next tuple delete removes."""
+        try:
+            if not self.catalog.has_table(table):
+                return True
+            tbl = self.catalog.table(table)
+        except ReproError:
+            return True
+        try:
+            tbl.read(oid)
+            return True
+        except ReproError:
+            return False
+
+    def _maint_wake(self) -> None:
+        """Write-path hook: in deferred mode, make sure the worker thread
+        exists and nudge it."""
+        if self.summary_async != "deferred":
+            return
+        worker = self._maint_worker
+        if worker is None or not worker.running:
+            worker = self._ensure_maint_worker()
+        worker.wake()
+
+    def _ensure_maint_worker(self):
+        from repro.summaries.background import MaintenanceWorker
+
+        worker = self._maint_worker
+        if worker is None:
+            worker = MaintenanceWorker(self)
+            self._maint_worker = worker
+        if not worker.running:
+            worker.start()
+        return worker
+
+    def stop_maintenance(self, drain: bool = True) -> None:
+        """Stop the background worker (if any); with ``drain`` (default)
+        finish all pending regeneration inline first-and-after, so the
+        engine shuts down with zero staleness."""
+        worker = self._maint_worker
+        if worker is not None:
+            worker.stop()
+        if drain:
+            self.manager.drain_pending()
+
+    def drain_summaries(self) -> int:
+        """Regenerate every stale summary now; returns how many tuples
+        were refreshed.  The 'converge async to sync equality' primitive —
+        after this, reads are exactly what synchronous maintenance would
+        have produced."""
+        return self.manager.drain_pending()
 
     # -- sessions --------------------------------------------------------------------
 
@@ -408,6 +520,10 @@ class Database:
         """
         from repro.core.repair import RepairManager
 
+        # Repair rebuilds derived structures from the heaps; fold any
+        # pending regeneration in first so the rebuilt structures reflect
+        # every acknowledged annotation.
+        self.manager.drain_pending()
         return RepairManager(self).run()
 
     # -- pickling --------------------------------------------------------------------
@@ -422,7 +538,7 @@ class Database:
         # The concurrency runtime (locks, sessions, transactions, running
         # statements) belongs to the running process, not the image.
         for key in ("_commit_mutex", "_exec_local", "_session_local",
-                    "lock_manager", "txn_manager"):
+                    "lock_manager", "txn_manager", "_maint_worker"):
             state.pop(key, None)
         return state
 
@@ -437,11 +553,15 @@ class Database:
         # … and images before the resilience era lack these.
         state.setdefault("statement_timeout", None)
         state.setdefault("batch_exec", _env_batch_exec())
+        # Pre-async images default the maintenance mode from the loading
+        # process's environment; newer images keep the mode they ran with.
+        state.setdefault("summary_async", _env_summary_async())
         # Pre-concurrency images pickled a _exec_ctx slot; the attribute
         # is a property over thread-local state now.
         state.pop("_exec_ctx", None)
         self.__dict__.update(state)
         self._init_concurrency()
+        self.manager.async_mode = self.summary_async
         if "health" not in state:
             self.health = AccessPathHealth(metrics=self.metrics)
         if "guard" not in state:
@@ -531,6 +651,12 @@ class Database:
         self.manager.unlink(table, instance)
         self.summary_indexes.pop((table.lower(), instance), None)
         self.baseline_indexes.pop((table.lower(), instance), None)
+        # Detach everything link_summary_instance/create_summary_index
+        # registered on this channel — the popped index and the statistics
+        # observer must stop receiving events (a detached-but-subscribed
+        # index keeps mutating as a zombie, and re-ADD would then register
+        # a duplicate statistics observer).
+        self.manager.clear_observers(table, instance)
 
     @_logged_ddl
     def create_summary_index(
@@ -674,18 +800,56 @@ class Database:
                     {"text": text, "targets": list(targets),
                      "ann_id": self.manager.annotations.next_id},
                 )
-            return self.manager.add_annotation(text, targets)
+            annotation = self.manager.add_annotation(text, targets)
+            if self.summary_async == "coherent":
+                self.manager.drain_pending()
+            return annotation
+
+    def add_annotations_bulk(
+        self, items: list[tuple[str, list[AnnotationTarget]]]
+    ) -> list:
+        """Bulk-attach annotations through one framed WAL record.
+
+        The durable path for dataset loads: unlike calling
+        ``manager.add_annotations_bulk`` directly, a crash after this
+        returns replays the whole batch (the record carries the first
+        assigned annotation id, so replay reproduces identical ids).
+        """
+        with self._wal_statement() as log:
+            if log:
+                self._wal_append(
+                    WALRecordType.ANN_BULK,
+                    {"items": [(text, list(targets)) for text, targets in items],
+                     "first_id": self.manager.annotations.next_id},
+                )
+            annotations = self.manager.add_annotations_bulk(items)
+            if self.summary_async == "coherent":
+                self.manager.drain_pending()
+            return annotations
 
     def delete_annotation(self, ann_id: int) -> None:
         with self._wal_statement() as log:
             if log:
                 self._wal_append(WALRecordType.ANN_DEL, {"ann_id": ann_id})
             self.manager.delete_annotation(ann_id)
+            if self.summary_async == "coherent":
+                self.manager.drain_pending()
 
     def zoom_in(self, table: str, oid: int, instance: str,
                 selector: str | int | None = None) -> list[str]:
-        """Zoom-in: raw annotation texts behind a summary object."""
-        return self.manager.zoom_in(table, oid, instance, selector)
+        """Zoom-in: raw annotation texts behind a summary object.
+
+        In deferred mode the returned list is a :class:`ZoomResult` whose
+        ``summary_status`` reports whether the tuple's summary objects are
+        behind its raw annotations (the texts themselves always come from
+        the last-generated objects — graceful degradation, not blocking).
+        """
+        texts = self.manager.zoom_in(table, oid, instance, selector)
+        if self.summary_async == "deferred":
+            return ZoomResult(
+                texts, summary_status=self.manager.summary_status(table, oid)
+            )
+        return texts
 
     # -- integrity -----------------------------------------------------------------------------
 
@@ -699,6 +863,9 @@ class Database:
         With ``raise_on_error`` a non-empty report raises
         :class:`~repro.errors.IntegrityError` instead of being returned.
         """
+        # Staleness is a deliberate, bounded inconsistency; don't let the
+        # auditor report it as corruption.
+        self.manager.drain_pending()
         report = IntegrityChecker(self).run()
         # Feed degraded-mode planning: every derived access path a
         # violation names is quarantined until a converged repair
@@ -746,6 +913,11 @@ class Database:
             self._save_locked(path)
 
     def _save_locked(self, path: str | Path) -> None:
+        # Checkpoint images are always fully maintained: fold pending
+        # regeneration in before flushing pages, so a load never starts
+        # from stale summary rows (the WAL tail re-marks anything the
+        # image predates).
+        self.manager.drain_pending()
         self.pool.flush_all()
         if self.wal is not None:
             self.wal.sync()
@@ -887,6 +1059,11 @@ class Database:
             snap["cache.capacity_bytes"] = cache.capacity_bytes
             snap["cache.used_bytes"] = cache.used_bytes
             snap["cache.entries"] = len(cache)
+        if getattr(self, "summary_async", "off") != "off":
+            # Live staleness gauges (the set_gauge values only move on
+            # mark/drain; these report the instantaneous truth).
+            snap["maint.backlog"] = self.manager.pending_count()
+            snap["maint.lag_seconds"] = self.manager.pending_lag_seconds()
         guard = getattr(self, "guard", None)
         if guard is not None and guard.breaker is not None:
             # Gauge (0=closed, 1=half-open, 2=open), not a counter.
@@ -992,6 +1169,10 @@ class Database:
     def _dispatch_stmt(self, stmt):
         """Session-free statement dispatch: the engine's raw execution
         surface, called by sessions after lock/transaction handling."""
+        if self.summary_async == "coherent":
+            # The coherence point: every statement starts from fully
+            # maintained summaries, so deferral is unobservable here.
+            self.manager.drain_pending()
         if isinstance(stmt, SelectStmt):
             return self._execute_select(stmt)
         if isinstance(stmt, ExplainStmt):
@@ -1242,7 +1423,21 @@ class Database:
             stats["metrics"] = MetricsRegistry.delta(
                 self.metrics_snapshot(), metrics_before or {}
             )
-        return ResultSet(columns, tuples, stats=stats)
+        summary_status = None
+        if self.summary_async == "deferred" and self.manager.has_pending():
+            # Per-row freshness: a row is stale when any tuple it was
+            # built from has queued maintenance work (its summary objects
+            # answer from the last generation).
+            pending = self.manager.pending
+            summary_status = [
+                "stale" if any(
+                    key in pending for key in t.provenance.values()
+                ) else "fresh"
+                for t in tuples
+            ]
+        return ResultSet(
+            columns, tuples, stats=stats, summary_status=summary_status
+        )
 
     @staticmethod
     def _expected_columns(stmt: SelectStmt) -> list[str]:

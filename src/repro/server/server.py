@@ -246,6 +246,12 @@ class QueryServer:
             conn.session.close()
             self._connections.discard(conn)
         self.db.metrics.set_gauge("server.active_connections", 0)
+        # Quiesce background summary maintenance: stop the worker thread
+        # and fold any remaining staleness in inline, so a drained server
+        # leaves fully maintained summaries behind.
+        stop_maintenance = getattr(self.db, "stop_maintenance", None)
+        if stop_maintenance is not None:
+            stop_maintenance()
         if self._executor is not None:
             # wait=True: never abandon a live worker thread mid-statement.
             self._executor.shutdown(wait=True)
@@ -283,6 +289,9 @@ class QueryServer:
                 [list(key) for key in path_health.unhealthy()]
                 if path_health is not None else []
             ),
+            "summary_async": getattr(db, "summary_async", "off"),
+            "maint_backlog": db.manager.pending_count(),
+            "maint_lag_seconds": db.manager.pending_lag_seconds(),
         }
 
     # -- network fault injection ---------------------------------------------

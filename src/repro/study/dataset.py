@@ -106,7 +106,7 @@ def build_study_database(config: StudyConfig | None = None) -> Database:
         }
         for table in ("birds", "birds_v2"):
             oid = db.insert(table, row)
-            db.manager.add_annotations_bulk(
+            db.add_annotations_bulk(
                 annotation_batch(
                     random.Random(config.seed * 1000 + i),
                     oid,

@@ -15,10 +15,35 @@ annotation store. Every annotation mutation flows through it:
 Index structures and optimizer statistics both subscribe through the same
 observer interface, matching the paper's "statistics are maintained whenever
 a summary object is updated" (§5.2).
+
+**Maintenance modes.**  ``async_mode`` selects how much of that work rides
+the write path (set by the owning :class:`~repro.core.database.Database`
+from ``REPRO_SUMMARY_ASYNC`` / ``Database(summary_async=)``; a bare
+manager always runs synchronously):
+
+* ``"off"`` — classic incremental maintenance inside the write.
+* ``"coherent"`` — writes only append the raw annotation and mark the
+  tuple stale in :class:`~repro.summaries.background.PendingSummaryWork`;
+  the owning Database drains at every statement boundary and
+  :meth:`storage_for` drains as a read barrier, so the mode is observably
+  identical to ``"off"`` while routing all maintenance through
+  :meth:`regenerate_tuple` (CI runs the whole suite this way as an
+  equivalence proof of the regeneration path).
+* ``"deferred"`` — fully asynchronous: a background
+  :class:`~repro.summaries.background.MaintenanceWorker` regenerates
+  stale tuples in batches; reads serve the last-generated objects and
+  surface ``summary_status: fresh|stale`` instead of blocking.
+
+Regeneration recomputes a tuple's summary objects from its raw
+annotations in ``ann_id`` order, which reproduces the incremental
+classifier/snippet results byte-for-byte; cluster objects are rebuilt
+from scratch (canonical form — CluStream's incremental *remove* is
+path-dependent, so regeneration defines the converged grouping).
 """
 
 from __future__ import annotations
 
+import threading
 from collections import defaultdict
 from typing import Protocol
 
@@ -26,6 +51,7 @@ from repro.annotations.annotation import Annotation, AnnotationTarget
 from repro.annotations.store import AnnotationStore
 from repro.cache import CacheInvalidator, SummaryCache, default_cache_bytes
 from repro.errors import SummaryError, UnknownInstanceError
+from repro.summaries.background import PendingSummaryWork
 from repro.mining.clustream import CluStream
 from repro.obs.metrics import MetricsRegistry
 from repro.storage.buffer import BufferPool
@@ -66,6 +92,19 @@ class SummaryManager:
 
     #: Class-level fallback for managers unpickled from pre-cache images.
     cache: SummaryCache | None = None
+    #: Class-level fallbacks for managers unpickled from pre-async images.
+    #: ``async_mode`` is only ever set by the owning Database — a bare
+    #: manager (unit tests, tools) always maintains synchronously.
+    async_mode: str = "off"
+    pending: PendingSummaryWork | None = None
+    #: (table, oid) -> live annotation ids attached there; None = lazily
+    #: rebuilt from the annotation store on first use (old images).
+    _targets_index: "dict[tuple[str, int], set[int]] | None" = None
+    #: callback the owning Database installs so regeneration never
+    #: resurrects a summary row for a deleted data tuple.
+    tuple_exists = None
+    #: callback that nudges the background worker when work goes pending.
+    maint_wake = None
 
     def __init__(
         self,
@@ -95,6 +134,34 @@ class SummaryManager:
         self._clusterers: dict[tuple[str, int, str], CluStream] = {}
         #: (table, instance) -> observers
         self._observers: dict[tuple[str, str], list[SummaryObserver]] = defaultdict(list)
+        #: staleness set for the async maintenance modes.
+        self.pending = PendingSummaryWork()
+        self._targets_index = {}
+        #: serializes regeneration against foreground writers; the owning
+        #: Database replaces it with its commit mutex.
+        self.regen_lock = threading.RLock()
+        self._regen_local = threading.local()
+
+    # -- pickling ------------------------------------------------------------
+
+    def __getstate__(self) -> dict:
+        # Locks, thread-locals, and the Database-installed callbacks are
+        # process state, never image state.
+        state = self.__dict__.copy()
+        for key in ("regen_lock", "_regen_local", "tuple_exists",
+                    "maint_wake"):
+            state.pop(key, None)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self.__dict__.setdefault("pending", PendingSummaryWork())
+        # None → rebuilt lazily from the annotation store on first use.
+        self.__dict__.setdefault("_targets_index", None)
+        self.regen_lock = threading.RLock()
+        self._regen_local = threading.local()
+        self.tuple_exists = None
+        self.maint_wake = None
 
     # -- instance registry ---------------------------------------------------------
 
@@ -201,6 +268,17 @@ class SummaryManager:
                 self.add_observer(
                     table, "*", CacheInvalidator(self.cache, table)
                 )
+        if (
+            self.async_mode == "coherent"
+            and self.pending is not None
+            and not getattr(self._regen_local, "active", False)
+            and self.pending.has_table(table)
+        ):
+            # Coherent-mode read barrier: whoever is about to read this
+            # table's summary rows first converges them.  (Statement
+            # boundaries drain too; this catches direct storage access and
+            # pending work left over by WAL replay or an image load.)
+            self.drain_pending(table=table)
         return self._storages[table]
 
     # -- observers ----------------------------------------------------------------
@@ -213,7 +291,27 @@ class SummaryManager:
     def remove_observer(
         self, table: str, instance_name: str, observer: SummaryObserver
     ) -> None:
-        self._observers[(table.lower(), instance_name)].remove(observer)
+        """Detach one observer.  Idempotent: detaching an observer that is
+        not (or no longer) registered is a no-op, so teardown paths that
+        overlap — ``ALTER TABLE … DROP`` clearing a channel and
+        ``drop_summary_index`` removing its index — compose safely."""
+        observers = self._observers.get((table.lower(), instance_name))
+        if observers is None:
+            return
+        try:
+            observers.remove(observer)
+        except ValueError:
+            pass
+
+    def clear_observers(self, table: str, instance_name: str) -> None:
+        """Detach *every* observer on one ``(table, instance)`` channel.
+
+        The DROP path needs this rather than identity-based removal:
+        ``StatisticsCatalog.observer_for`` returns a fresh observer object
+        per registration, so the exact instance registered at ADD time is
+        not recoverable — and a dropped link must leave nothing behind
+        that keeps mutating a zombie index or statistics entry."""
+        self._observers.pop((table.lower(), instance_name), None)
 
     def _notify(self, table: str, instance_name: str, method: str, *args) -> None:
         self.metrics.inc(f"maint.{method}")
@@ -246,30 +344,56 @@ class SummaryManager:
         ann_id: int | None = None,
     ) -> Annotation:
         """Store a raw annotation and incrementally update every summary
-        object it affects.  ``ann_id`` forces the assigned id (WAL replay)."""
+        object it affects.  ``ann_id`` forces the assigned id (WAL replay).
+
+        In an async mode the summary work is deferred: the annotation is
+        appended, attachments are recorded, and each affected tuple is
+        marked stale for :meth:`regenerate_tuple` to converge later."""
         self._record_targets(targets)
         self.metrics.inc("maint.annotation_add")
         annotation = self.annotations.create(text, targets, ann_id=ann_id)
-        for table, oid in self._affected_tuples(annotation):
+        affected = self._affected_tuples(annotation)
+        self._attach_targets(annotation.ann_id, affected)
+        if self.async_mode != "off":
+            for table, oid in affected:
+                self._mark_stale(table, oid)
+            return annotation
+        for table, oid in affected:
             self._apply_to_tuple(annotation, table, oid)
         return annotation
 
     def add_annotations_bulk(
-        self, items: list[tuple[str, list[AnnotationTarget]]]
+        self, items: list[tuple[str, list[AnnotationTarget]]],
+        first_id: int | None = None,
     ) -> list[Annotation]:
         """Bulk-load many annotations (initial-upload mode, §6).
 
         Summary objects are written back once per affected tuple instead of
         once per annotation; observers see one consolidated event per tuple.
+        ``first_id`` forces the ids of the whole batch (``first_id``,
+        ``first_id + 1``, …) so WAL replay of a logged bulk load reproduces
+        the original identities — see :meth:`Database.add_annotations_bulk`,
+        which is the durable entry point.
         """
         for _text, targets in items:
             self._record_targets(targets)
         self.metrics.inc("maint.annotation_add", len(items))
-        annotations = [self.annotations.create(t, targets) for t, targets in items]
+        annotations = []
+        for offset, (text, targets) in enumerate(items):
+            ann_id = None if first_id is None else first_id + offset
+            annotations.append(
+                self.annotations.create(text, targets, ann_id=ann_id)
+            )
         grouped: dict[tuple[str, int], list[Annotation]] = {}
         for annotation in annotations:
-            for key in self._affected_tuples(annotation):
+            keys = self._affected_tuples(annotation)
+            self._attach_targets(annotation.ann_id, keys)
+            for key in keys:
                 grouped.setdefault(key, []).append(annotation)
+        if self.async_mode != "off":
+            for table, oid in grouped:
+                self._mark_stale(table, oid)
+            return annotations
         for (table, oid), batch in grouped.items():
             self._apply_batch_to_tuple(batch, table, oid)
         return annotations
@@ -339,12 +463,25 @@ class SummaryManager:
         """Remove a raw annotation and subtract its effects (§4.1.2)."""
         self.metrics.inc("maint.annotation_delete")
         annotation = self.annotations.delete(ann_id)
-        for table, oid in self._affected_tuples(annotation):
+        affected = self._affected_tuples(annotation)
+        self._detach_targets(ann_id, affected)
+        if self.async_mode != "off":
+            for table, oid in affected:
+                self._mark_stale(table, oid)
+            return
+        for table, oid in affected:
             self._remove_from_tuple(annotation, table, oid)
 
     def on_tuple_delete(self, table: str, oid: int) -> None:
         """The data tuple is gone: drop its summary row and index entries."""
         table = table.lower()
+        # Sever the tuple's annotation attachments and cancel any queued
+        # regeneration — a dropped row must never be resurrected by the
+        # background worker.
+        if self._targets_index is not None:
+            self._targets_index.pop((table, oid), None)
+        if self.pending is not None:
+            self.pending.discard(table, oid)
         storage = self.storage_for(table)
         objects = storage.get(oid)
         if objects is None:
@@ -446,6 +583,231 @@ class SummaryManager:
                 seen.append(key)
         return seen
 
+    # -- async maintenance ---------------------------------------------------------------
+
+    def _ensure_targets_index(self) -> dict[tuple[str, int], set[int]]:
+        """The live attachment reverse-map: (table, oid) -> annotation ids.
+
+        Maintained on every create/delete; rebuilt from the annotation
+        store for managers unpickled from pre-async images.  Entries for
+        deleted data tuples are pruned by :meth:`on_tuple_delete` (the
+        live map) or filtered by ``tuple_exists`` (the rebuilt one)."""
+        if self._targets_index is None:
+            index: dict[tuple[str, int], set[int]] = {}
+            for annotation in self.annotations.scan():
+                for key in self._affected_tuples(annotation):
+                    index.setdefault(key, set()).add(annotation.ann_id)
+            self._targets_index = index
+        return self._targets_index
+
+    def _attach_targets(self, ann_id: int,
+                        keys: list[tuple[str, int]]) -> None:
+        index = self._ensure_targets_index()
+        for key in keys:
+            index.setdefault(key, set()).add(ann_id)
+
+    def _detach_targets(self, ann_id: int,
+                        keys: list[tuple[str, int]]) -> None:
+        index = self._ensure_targets_index()
+        for key in keys:
+            members = index.get(key)
+            if members is None:
+                continue
+            members.discard(ann_id)
+            if not members:
+                index.pop(key, None)
+
+    def _ensure_pending(self) -> PendingSummaryWork:
+        if self.pending is None:
+            self.pending = PendingSummaryWork()
+        return self.pending
+
+    def _mark_stale(self, table: str, oid: int) -> None:
+        """Async write path: record staleness instead of doing the work.
+
+        Bumps the tuple's freshness marker (a precise cache invalidation —
+        the PR-4 epoch machinery guarantees nothing stale outlives the
+        regeneration that follows), publishes the backlog gauge, and
+        nudges the background worker.  Deliberately avoids
+        :meth:`storage_for`: the write path must never trip the coherent
+        read barrier it is creating work for."""
+        if not self._links.get(table):
+            return  # no linked instances: nothing will ever regenerate
+        pending = self._ensure_pending()
+        storage = self._storages.get(table)
+        generation = storage.generation(oid) if storage is not None else 0
+        epoch = self.cache.epoch(table) if self.cache is not None else 0
+        if pending.mark(table, oid, generation=generation, epoch=epoch):
+            self.metrics.inc("maint.deferred")
+        if self.cache is not None:
+            self.cache.invalidate(table, oid)
+        self.metrics.set_gauge("maint.backlog", len(pending))
+        wake = self.maint_wake
+        if wake is not None:
+            wake()
+
+    def summary_status(self, table: str, oid: int) -> str:
+        """``"stale"`` while the tuple has queued maintenance work, else
+        ``"fresh"`` — what deferred-mode query results surface per row."""
+        pending = self.pending
+        if pending is not None and (table.lower(), oid) in pending:
+            return "stale"
+        return "fresh"
+
+    def has_pending(self) -> bool:
+        return self.pending is not None and len(self.pending) > 0
+
+    def pending_count(self) -> int:
+        return len(self.pending) if self.pending is not None else 0
+
+    def pending_lag_seconds(self) -> float:
+        return self.pending.oldest_age() if self.pending is not None else 0.0
+
+    def drain_pending(self, table: str | None = None,
+                      limit: int | None = None) -> int:
+        """Regenerate stale tuples (optionally one table's, up to
+        ``limit``); returns how many were regenerated.
+
+        Serialized against foreground writers by ``regen_lock`` (the
+        engine's commit mutex when a Database owns this manager) and safe
+        to call from anywhere — checkpoints, server drain, the background
+        worker, the coherent read barrier — because it is idempotent over
+        an empty set.  A tuple whose regeneration raises is re-marked
+        before the error propagates, so no staleness is ever lost."""
+        pending = self.pending
+        if pending is None or not len(pending):
+            return 0
+        drained = 0
+        with self.regen_lock:
+            if getattr(self._regen_local, "active", False):
+                return 0  # re-entered from inside a regeneration
+            self._regen_local.active = True
+            try:
+                while limit is None or drained < limit:
+                    item = pending.pop_next(table)
+                    if item is None:
+                        break
+                    (item_table, oid), entry = item
+                    try:
+                        self.regenerate_tuple(item_table, oid)
+                    except BaseException:
+                        pending.mark(item_table, oid,
+                                     generation=entry.generation,
+                                     epoch=entry.epoch)
+                        raise
+                    drained += 1
+            finally:
+                self._regen_local.active = False
+        if drained:
+            self.metrics.inc("maint.regen", drained)
+        self.metrics.set_gauge("maint.backlog", len(pending))
+        self.metrics.set_gauge("maint.lag_seconds", pending.oldest_age())
+        return drained
+
+    def regenerate_tuple(self, table: str, oid: int) -> None:
+        """Recompute one tuple's summary objects from its raw annotations.
+
+        The converged result is definitionally what synchronous
+        maintenance would have produced: annotations are applied in
+        ``ann_id`` order (the incremental arrival order), objects of
+        currently-unlinked instances are preserved but scrubbed to live
+        attachments (matching the sync path, which leaves them behind on
+        unlink), and an empty result drops the storage row with the same
+        event sequence as a tuple delete.  Observers receive one
+        consolidated write event plus per-classifier insert/update events
+        whose *old* counts are the stored (still-indexed) ones, so
+        derived structures converge no matter how many writes were folded
+        into this one regeneration.
+        """
+        table = table.lower()
+        storage = self.storage_for(table)
+        old = storage.get(oid)
+        ann_ids = sorted(self._ensure_targets_index().get((table, oid), ()))
+        exists = self.tuple_exists is None or self.tuple_exists(table, oid)
+        instances = self.instances_for(table) if exists else []
+        linked = {instance.name for instance in instances}
+        objects: dict[str, SummaryObject] = {}
+        if instances and ann_ids:
+            annotations = self.annotations.get_many(ann_ids)
+            for instance in instances:
+                obj = instance.new_object(oid)
+                objects[instance.name] = obj
+                if isinstance(instance, ClassifierInstance):
+                    assert isinstance(obj, ClassifierObject)
+                    for annotation in annotations:
+                        obj.add_annotation(
+                            annotation.ann_id,
+                            instance.classify(annotation.text),
+                            annotation.columns_on(table, oid),
+                        )
+                elif isinstance(instance, SnippetInstance):
+                    assert isinstance(obj, SnippetObject)
+                    for annotation in annotations:
+                        obj.add_annotation(
+                            annotation.ann_id,
+                            annotation.columns_on(table, oid),
+                            instance.snippet_for(annotation.text),
+                        )
+                else:
+                    assert isinstance(instance, ClusterInstance)
+                    # Canonical form: rebuild the clustering from scratch
+                    # in ann_id order (incremental removes are
+                    # path-dependent; regeneration defines convergence).
+                    clusterer = instance.new_clusterer()
+                    for annotation in annotations:
+                        clusterer.insert(annotation.ann_id, annotation.text)
+                        obj.ann_targets[annotation.ann_id] = \
+                            annotation.columns_on(table, oid)
+                    self._rebuild_cluster_object(obj, clusterer)
+                    self._clusterers[(table, oid, instance.name)] = clusterer
+        if old and exists and ann_ids:
+            # Preserve leftover objects of instances unlinked since the
+            # row was written (sync semantics), scrubbed of annotations
+            # that no longer exist.
+            live = set(ann_ids)
+            for name, obj in old.items():
+                if name in linked:
+                    continue
+                doomed = obj.all_annotation_ids() - live
+                if doomed:
+                    obj.remove_annotations(doomed)
+                objects[name] = obj
+            # Keep the stored object order stable across regenerations:
+            # previously-present instances stay in place, new ones append.
+            ordered: dict[str, SummaryObject] = {}
+            for name in old:
+                if name in objects:
+                    ordered[name] = objects.pop(name)
+            ordered.update(objects)
+            objects = ordered
+        if not objects or all(
+            not obj.all_annotation_ids() for obj in objects.values()
+        ):
+            if old is not None:
+                for name, obj in old.items():
+                    if isinstance(obj, ClassifierObject):
+                        self._notify(table, name, "on_tuple_delete", oid,
+                                     dict(obj.rep()))
+                    self._clusterers.pop((table, oid, name), None)
+                storage.delete(oid)
+                self._notify(table, "*", "on_objects_delete", oid)
+            return
+        storage.put(oid, objects)
+        self._notify(table, "*", "on_objects_write", oid, objects)
+        for instance in instances:
+            if not isinstance(instance, ClassifierInstance):
+                continue
+            obj = objects.get(instance.name)
+            if not isinstance(obj, ClassifierObject):
+                continue
+            previous = old.get(instance.name) if old else None
+            if isinstance(previous, ClassifierObject):
+                self._notify(table, instance.name, "on_summary_update", oid,
+                             dict(previous.rep()), dict(obj.rep()))
+            else:
+                self._notify(table, instance.name, "on_summary_insert", oid,
+                             obj)
+
     def _apply_to_tuple(self, annotation: Annotation, table: str, oid: int) -> None:
         instances = self.instances_for(table)
         if not instances:
@@ -518,6 +880,20 @@ class SummaryManager:
                 obj.ann_targets.pop(ann_id, None)
             else:
                 obj.remove_annotations({ann_id})
+        if all(not obj.all_annotation_ids() for obj in objects.values()):
+            # The tuple's last annotation is gone: a row of all-empty
+            # objects must not linger for caches/indexes to keep serving.
+            # Drop it with the same event sequence as a tuple delete (the
+            # classifier channel already saw the update to zero counts, so
+            # on_tuple_delete's zero-count keys match what is indexed).
+            for name, obj in objects.items():
+                if isinstance(obj, ClassifierObject):
+                    self._notify(table, name, "on_tuple_delete", oid,
+                                 dict(obj.rep()))
+                self._clusterers.pop((table, oid, name), None)
+            storage.delete(oid)
+            self._notify(table, "*", "on_objects_delete", oid)
+            return
         storage.put(oid, objects)
         self._notify(table, "*", "on_objects_write", oid, objects)
 

@@ -79,6 +79,12 @@ class SummaryStorage:
     #: simply run uncached; the owning SummaryManager attaches its shared
     #: :class:`~repro.cache.SummaryCache` on construction.
     cache = None
+    #: Class-level fallback for pre-async images: per-row freshness
+    #: generations, bumped on every put/delete.  Background maintenance
+    #: records a row's generation when it goes stale, so tests (and any
+    #: future ABA-sensitive consumer) can tell "regenerated since" apart
+    #: from "untouched".
+    generations: dict[int, int] | None = None
 
     def __init__(self, table_name: str, pool: BufferPool, cache=None):
         self.table_name = table_name
@@ -87,6 +93,21 @@ class SummaryStorage:
         #: OID -> heap RID of the tuple's summary row.
         self.oid_index = BTree(pool, unique=True)
         self.cache = cache
+        self.generations = {}
+
+    def bump_generation(self, oid: int) -> int:
+        """Advance and return ``oid``'s freshness generation."""
+        if self.generations is None:
+            self.generations = {}
+        value = self.generations.get(oid, 0) + 1
+        self.generations[oid] = value
+        return value
+
+    def generation(self, oid: int) -> int:
+        """Current freshness generation of ``oid`` (0 = never written)."""
+        if self.generations is None:
+            return 0
+        return self.generations.get(oid, 0)
 
     def __len__(self) -> int:
         return len(self.heap)
@@ -227,6 +248,7 @@ class SummaryStorage:
         # writes storage rows directly, bypassing the SummaryManager.
         if self.cache is not None:
             self.cache.invalidate(self.table_name, oid)
+        self.bump_generation(oid)
         record = self._encode(objects)
         rid = self._rid_for(oid)
         if rid is None:
@@ -249,6 +271,7 @@ class SummaryStorage:
         """Drop the summary row of ``oid`` (tuple deletion, §4.1.2)."""
         if self.cache is not None:
             self.cache.invalidate(self.table_name, oid)
+        self.bump_generation(oid)
         rid = self._rid_for(oid)
         if rid is None:
             raise RecordNotFoundError(

@@ -166,6 +166,10 @@ class TransactionManager:
                 raise
         for table in txn.written_tables:
             db.statistics.mark_stale(table)
+        if getattr(db, "summary_async", "off") == "coherent":
+            # Commit is a statement boundary: fold the group's deferred
+            # summary work in before the caller can observe the commit.
+            db.manager.drain_pending()
         self._retire(txn, "committed")
         db.metrics.inc("txn.commits")
         db.metrics.inc("txn.ops_committed", len(txn.ops))

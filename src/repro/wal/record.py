@@ -59,14 +59,18 @@ class WALRecordType:
     TXN_BEGIN = 7
     #: Explicit transaction commit — the durability point of its group.
     TXN_COMMIT = 8
+    #: Bulk annotation load: one framed record for the whole batch, with
+    #: the first assigned annotation id (ids are sequential from there).
+    ANN_BULK = 9
 
     ALL = (DDL, INSERT, DELETE, UPDATE, ANN_ADD, ANN_DEL,
-           TXN_BEGIN, TXN_COMMIT)
+           TXN_BEGIN, TXN_COMMIT, ANN_BULK)
 
     NAMES = {
         DDL: "ddl", INSERT: "insert", DELETE: "delete",
         UPDATE: "update", ANN_ADD: "ann_add", ANN_DEL: "ann_del",
         TXN_BEGIN: "txn_begin", TXN_COMMIT: "txn_commit",
+        ANN_BULK: "ann_bulk",
     }
 
 

@@ -93,6 +93,8 @@ def apply_record(db, record: WALRecord) -> None:
         db.statistics.mark_stale(p["table"])
     elif rtype == WALRecordType.ANN_ADD:
         db.manager.add_annotation(p["text"], p["targets"], ann_id=p["ann_id"])
+    elif rtype == WALRecordType.ANN_BULK:
+        db.manager.add_annotations_bulk(p["items"], first_id=p["first_id"])
     elif rtype == WALRecordType.ANN_DEL:
         db.manager.delete_annotation(p["ann_id"])
     elif rtype in (WALRecordType.TXN_BEGIN, WALRecordType.TXN_COMMIT):
@@ -167,6 +169,11 @@ def replay(db, device) -> RecoveryReport:
         # Replay mutated state through every layer; nothing cached before
         # (or during) recovery may be served after it.
         cache.bump_all("recover")
+    if getattr(db, "summary_async", "off") == "coherent":
+        # Replayed annotation writes re-marked their tuples pending (the
+        # pending set's crash-rebuild path); coherent mode regenerates at
+        # statement boundaries, and recovery is one.
+        db.manager.drain_pending()
     db.metrics.inc("recovery.runs")
     db.metrics.inc("recovery.records_replayed", report.replayed)
     db.metrics.inc("recovery.records_skipped", report.skipped)

@@ -213,4 +213,4 @@ def annotate_bird(
     """Attach ``count`` (default: the configured density) annotations in
     bulk-load mode."""
     n = config.annotations_per_tuple if count is None else count
-    db.manager.add_annotations_bulk(annotation_batch(rng, oid, config, n))
+    db.add_annotations_bulk(annotation_batch(rng, oid, config, n))

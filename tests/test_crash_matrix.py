@@ -26,6 +26,7 @@ import pickle
 
 import pytest
 
+from repro.annotations.annotation import AnnotationTarget
 from repro.catalog.schema import Column
 from repro.core.database import Database
 from repro.errors import InjectedFaultError, ReproError
@@ -179,6 +180,13 @@ def wal_script():
             )
         )
     script += [
+        # Bulk load: one framed ANN_BULK record — a crash right after the
+        # ack must replay the whole batch with identical annotation ids.
+        lambda db: db.add_annotations_bulk([
+            ("alpha apple bulk one", [AnnotationTarget("t", 5)]),
+            ("beta bear bulk two", [AnnotationTarget("t", 5)]),
+            ("alpha fruit bulk three", [AnnotationTarget("t", 7)]),
+        ]),
         lambda db: db.sql("UPDATE t SET v = 9 WHERE name = 'r5'"),
         lambda db: db.delete_tuple("t", 3),
         lambda db: db.delete_annotation(2),

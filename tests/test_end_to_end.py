@@ -89,7 +89,7 @@ class TestKeyWidening:
         oid = db.insert("birds", {"name": "x", "family": "F", "weight": 1.0})
         index = db.summary_indexes[("birds", "C")]
         assert index.width == 3
-        db.manager.add_annotations_bulk([
+        db.add_annotations_bulk([
             (DISEASE_TEXT, [__import__("repro.annotations.annotation",
                                        fromlist=["AnnotationTarget"])
                             .AnnotationTarget("birds", oid, ())])
@@ -109,7 +109,7 @@ class TestKeyWidening:
         for name, count in [("small", 5), ("big", 1500)]:
             oid = db.insert("birds", {"name": name, "family": "F",
                                       "weight": 1.0})
-            db.manager.add_annotations_bulk(
+            db.add_annotations_bulk(
                 [(DISEASE_TEXT, [AnnotationTarget("birds", oid, ())])]
                 * count
             )

@@ -272,8 +272,11 @@ class TestObservers:
         m.add_observer("birds", "ClassBird1", observer)
         ann = m.add_annotation("disease infection flu", row_target(1))
         m.delete_annotation(ann.ann_id)
-        assert observer.events[-1][0] == "update"
-        assert observer.events[-1][3]["Disease"] == 0
+        # The update to zero counts fires first; then, because that was
+        # the tuple's last annotation, the now-hollow row is dropped with
+        # a tuple-delete event.
+        assert [e[0] for e in observer.events] == ["insert", "update", "delete"]
+        assert observer.events[1][3]["Disease"] == 0
 
     def test_tuple_delete_fires_delete(self):
         m = make_manager()
@@ -302,3 +305,116 @@ class TestClustererStateRebuild:
         m.add_annotation("eating stonewort near lake", row_target(1))
         clus = m.summary_set_for("birds", 1).get_summary_object("SimCluster")
         assert clus.largest_group_size() == 3
+
+
+class TestHollowRowDropped:
+    """Deleting a tuple's last annotation must drop the storage row —
+    never leave hollow (all-empty) summary objects for caches and indexes
+    to keep serving."""
+
+    def test_last_delete_drops_storage_row(self):
+        m = make_manager()
+        ann = m.add_annotation("disease infection flu", row_target(7))
+        assert m.storage_for("birds").get(7) is not None
+        m.delete_annotation(ann.ann_id)
+        assert m.storage_for("birds").get(7) is None
+
+    def test_last_delete_fires_objects_delete(self):
+        m = make_manager()
+
+        class StarObserver:
+            def __init__(self):
+                self.deleted = []
+                self.written = []
+
+            def on_objects_write(self, oid, objects):
+                self.written.append(oid)
+
+            def on_objects_delete(self, oid):
+                self.deleted.append(oid)
+
+        star = StarObserver()
+        m.add_observer("birds", "*", star)
+        ann = m.add_annotation("disease infection flu", row_target(7))
+        m.delete_annotation(ann.ann_id)
+        assert star.deleted == [7]
+        # The hollow row was dropped, not written back.
+        assert star.written == [7]  # only the insert wrote
+
+    def test_partial_delete_keeps_row(self):
+        m = make_manager()
+        a = m.add_annotation("disease infection flu", row_target(7))
+        m.add_annotation("wing anatomy beak", row_target(7))
+        m.delete_annotation(a.ann_id)
+        objects = m.storage_for("birds").get(7)
+        assert objects is not None
+        assert dict(objects["ClassBird1"].rep())["Anatomy"] == 1
+
+    def test_clusterer_state_dropped_with_row(self):
+        m = make_manager()
+        ann = m.add_annotation("eating stonewort lake", row_target(7))
+        assert ("birds", 7, "SimCluster") in m._clusterers
+        m.delete_annotation(ann.ann_id)
+        assert ("birds", 7, "SimCluster") not in m._clusterers
+
+
+class TestUnlinkDetachesObservers:
+    """ALTER TABLE … DROP must detach the dropped index and statistics
+    observers — a detached-but-subscribed index is a zombie that keeps
+    mutating, and re-ADD would register duplicates."""
+
+    SEED = [
+        ("observed infection disease flu", "Disease"),
+        ("wing beak anatomy", "Anatomy"),
+    ]
+
+    def _database(self):
+        from repro.catalog.schema import Column
+        from repro.core.database import Database
+        from repro.storage.record import ValueType
+
+        db = Database(buffer_pages=256)
+        db.create_table("birds", [Column("name", ValueType.TEXT)])
+        db.create_classifier_instance("C", ["Disease", "Anatomy"], self.SEED)
+        db.sql("Alter Table birds Add Indexable C")
+        oid = db.insert("birds", {"name": "b1"})
+        return db, oid
+
+    def test_drop_stops_zombie_index_mutation(self):
+        db, oid = self._database()
+        db.add_annotation("disease flu infection", table="birds", oid=oid)
+        index = db.summary_indexes[("birds", "C")]
+        size_before = len(index)
+        db.sql("Alter Table birds Drop C")
+        # Re-link the instance without an index: annotation writes resume,
+        # but the dropped index must no longer see them.
+        db.manager.link("birds", "C")
+        db.add_annotation("more disease flu", table="birds", oid=oid)
+        assert len(index) == size_before
+
+    def test_drop_detaches_whole_channel(self):
+        db, _oid = self._database()
+        assert len(db.manager._observers[("birds", "C")]) == 2  # stats + index
+        db.sql("Alter Table birds Drop C")
+        assert ("birds", "C") not in db.manager._observers
+
+    def test_readd_registers_single_set_of_observers(self):
+        db, oid = self._database()
+        db.sql("Alter Table birds Drop C")
+        db.sql("Alter Table birds Add Indexable C")
+        # Exactly one statistics observer + one index observer — the bug
+        # left the old pair subscribed, doubling every notification.
+        assert len(db.manager._observers[("birds", "C")]) == 2
+        index = db.summary_indexes[("birds", "C")]
+        db.add_annotation("disease flu infection", table="birds", oid=oid)
+        # One notification, one index entry for the tuple.
+        assert len(list(index.lookup_range("Disease", lo=1))) == 1
+
+    def test_remove_observer_idempotent(self):
+        m = make_manager()
+        observer = RecordingObserver()
+        m.add_observer("birds", "ClassBird1", observer)
+        m.remove_observer("birds", "ClassBird1", observer)
+        # Second removal (and removal of a never-added observer) no-op.
+        m.remove_observer("birds", "ClassBird1", observer)
+        m.remove_observer("birds", "ClassBird1", RecordingObserver())

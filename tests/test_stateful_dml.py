@@ -131,7 +131,11 @@ class DMLMachine(RuleBasedStateMachine):
         if ann_id is None:
             return
         self.db.delete_annotation(ann_id)
-        del self.anns[ann_id]
+        oid = self.anns.pop(ann_id)[0]
+        if all(ann_oid != oid for ann_oid, _ in self.anns.values()):
+            # Deleting a tuple's last annotation drops its storage row:
+            # it summarizes like a never-annotated tuple from here on.
+            self.summarized.discard(oid)
 
     # -- invariants ----------------------------------------------------------
 
