@@ -347,8 +347,16 @@ def repair_image(image: str, out: str | None = None) -> int:
 
 def serve_command(args: list[str]) -> int:
     """``python -m repro serve [image] [--host H] [--port P] [--workers N]
-    [--max-connections N] [--drain-timeout S] [--idle-timeout S]``: run
-    the asyncio query server over a fresh database or a loaded image.
+    [--max-connections N] [--drain-timeout S] [--idle-timeout S]
+    [--replicate] [--replica-of HOST:PORT] [--replica-id ID]``: run the
+    asyncio query server over a fresh database or a loaded image.
+
+    ``--replicate`` attaches a WAL (if the database has none) and serves
+    the primary-side replication ops so replicas can attach.
+    ``--replica-of HOST:PORT`` instead runs a read-only hot standby of
+    that primary: it bootstraps from a snapshot, continuously applies
+    the primary's WAL stream, and serves read-only queries; promote it
+    with ``python -m repro promote HOST:PORT``.
 
     SIGTERM and SIGINT (Ctrl-C) trigger a graceful drain: the server
     stops accepting, in-flight statements get the drain deadline to
@@ -366,10 +374,14 @@ def serve_command(args: list[str]) -> int:
 
     usage = ("usage: python -m repro serve [image] [--host H] [--port P] "
              "[--workers N] [--max-connections N] [--drain-timeout S] "
-             "[--idle-timeout S]")
+             "[--idle-timeout S] [--replicate] "
+             "[--replica-of HOST:PORT] [--replica-id ID]")
     host, port, image = "127.0.0.1", DEFAULT_PORT, None
     workers = DEFAULT_WORKERS
     server_kwargs: dict = {}
+    replicate = False
+    replica_of: str | None = None
+    replica_id: str | None = None
 
     def _number(raw, cast):
         try:
@@ -381,6 +393,18 @@ def serve_command(args: list[str]) -> int:
     for arg in it:
         if arg == "--host":
             host = next(it, None)
+        elif arg == "--replicate":
+            replicate = True
+        elif arg == "--replica-of":
+            replica_of = next(it, None)
+            if replica_of is None or ":" not in replica_of:
+                print(usage)
+                return 2
+        elif arg == "--replica-id":
+            replica_id = next(it, None)
+            if not replica_id:
+                print(usage)
+                return 2
         elif arg == "--port":
             port = _number(next(it, None), int)
             if port is None:
@@ -418,6 +442,25 @@ def serve_command(args: list[str]) -> int:
     if host is None:
         print(usage)
         return 2
+    if replica_of is not None:
+        if image is not None or replicate:
+            print(usage)
+            return 2
+        from repro.replication.replica import serve_replica
+
+        primary_host, _, raw_port = replica_of.rpartition(":")
+        primary_port = _number(raw_port, int)
+        if not primary_host or primary_port is None:
+            print(usage)
+            return 2
+        try:
+            asyncio.run(serve_replica(
+                primary_host, primary_port, host=host, port=port,
+                workers=workers, replica_id=replica_id, **server_kwargs,
+            ))
+        except KeyboardInterrupt:
+            print("\nshutting down")
+        return 0
     if image is not None:
         try:
             db = Database.load(image)
@@ -426,6 +469,10 @@ def serve_command(args: list[str]) -> int:
             return 2
     else:
         db = Database()
+    if replicate and db.wal is None:
+        # serve() installs the replication endpoint whenever a WAL is
+        # attached; all --replicate must do is make sure one is.
+        db.attach_wal()
     try:
         asyncio.run(serve(db, host=host, port=port, workers=workers,
                           **server_kwargs))
@@ -433,6 +480,44 @@ def serve_command(args: list[str]) -> int:
         # Signal handlers normally drain before this is reachable; a
         # second Ctrl-C mid-drain lands here.
         print("\nshutting down")
+    return 0
+
+
+def promote_command(args: list[str]) -> int:
+    """``python -m repro promote HOST:PORT``: promote a replica to a
+    writable primary (the replica stops its replication link, attaches a
+    fresh WAL at its applied watermark, and starts accepting writes).
+
+    Exit status: 0 on success, 1 when the server refused (not a replica,
+    or not bootstrapped yet), 2 on bad arguments or connection failure.
+    """
+    from repro.errors import ServerError
+    from repro.server.client import QueryClient
+
+    usage = "usage: python -m repro promote HOST:PORT"
+    if len(args) != 1 or ":" not in args[0]:
+        print(usage)
+        return 2
+    host, _, raw_port = args[0].rpartition(":")
+    try:
+        port = int(raw_port)
+    except ValueError:
+        print(usage)
+        return 2
+    try:
+        with QueryClient(host, port, connect_timeout=5.0,
+                         response_timeout=30.0) as client:
+            result = client.request({"op": "promote"})
+    except OSError as exc:
+        print(f"error: cannot reach {host}:{port}: {exc}")
+        return 2
+    except ServerError as exc:
+        print(f"error: {exc}")
+        return 1
+    if result.get("promoted"):
+        print(f"promoted: now a writable primary at LSN {result.get('lsn')}")
+    else:
+        print(f"already a primary (LSN {result.get('lsn')})")
     return 0
 
 
@@ -456,6 +541,8 @@ def main(argv: list[str] | None = None) -> int:
         return repair_image(argv[1], argv[2] if len(argv) == 3 else None)
     if argv and argv[0] == "serve":
         return serve_command(argv[1:])
+    if argv and argv[0] == "promote":
+        return promote_command(argv[1:])
     print("InsightNotes+ shell — \\help for commands, \\demo to load data")
     db = Database()
     while True:

@@ -36,6 +36,7 @@ from repro.errors import (
     IndexError_,
     IntegrityError,
     QueryError,
+    ReadOnlyReplicaError,
     ReproError,
     SummaryError,
 )
@@ -320,6 +321,10 @@ class Database:
         #: REPRO_SUMMARY_ASYNC; True means "deferred".
         self.summary_async = _normalize_summary_async(summary_async)
         self.manager.async_mode = self.summary_async
+        #: replicas set this: every mutating statement raises
+        #: ReadOnlyReplicaError unless it arrives via the replication
+        #: stream's replay path.
+        self.read_only = False
         self._init_concurrency()
 
     def _init_concurrency(self) -> None:
@@ -469,6 +474,11 @@ class Database:
         commit protocol (which takes it explicitly) recurse safely.
         """
         with self._commit_mutex:
+            if self.read_only and not self._wal_replaying:
+                raise ReadOnlyReplicaError(
+                    "replica is read-only: route writes to the primary, "
+                    "or promote this replica first"
+                )
             active = (
                 self.wal is not None
                 and not self._wal_replaying
@@ -556,6 +566,7 @@ class Database:
         # Pre-async images default the maintenance mode from the loading
         # process's environment; newer images keep the mode they ran with.
         state.setdefault("summary_async", _env_summary_async())
+        state.setdefault("read_only", False)
         # Pre-concurrency images pickled a _exec_ctx slot; the attribute
         # is a property over thread-local state now.
         state.pop("_exec_ctx", None)
@@ -944,6 +955,36 @@ class Database:
         if self.wal is not None:
             self.wal.truncate(self.checkpoint_lsn)
 
+    def snapshot_bytes(self) -> bytes:
+        """Serialize the current state as image bytes — the replication
+        bootstrap primitive.
+
+        Same format (and drain/flush/sync discipline) as :meth:`save`,
+        with two deliberate differences: nothing touches the filesystem,
+        and the WAL is **not** truncated — the snapshot LSN is stamped
+        into the header but the primary keeps its log, so an attached
+        replica's stream position stays valid across a bootstrap.
+        """
+        with self._commit_mutex:
+            self.manager.drain_pending()
+            self.pool.flush_all()
+            if self.wal is not None:
+                self.wal.sync()
+                snapshot_lsn = self.wal.next_lsn
+            else:
+                snapshot_lsn = max(self.checkpoint_lsn, self._applied_lsn)
+            udfs = self.manager.udfs
+            self.manager.udfs = {}
+            try:
+                payload = pickle.dumps(self)
+            finally:
+                self.manager.udfs = udfs
+            header = self._IMAGE_MAGIC + self._IMAGE_HEADER.pack(
+                self._IMAGE_VERSION, len(payload),
+                zlib.crc32(payload) & 0xFFFFFFFF, snapshot_lsn,
+            )
+            return header + payload
+
     @classmethod
     def load(cls, path: str | Path, verify: bool = False) -> "Database":
         """Restore a database image written by :meth:`save`.
@@ -955,13 +996,22 @@ class Database:
         :meth:`check_integrity` on the restored database and raises
         :class:`~repro.errors.IntegrityError` on any violation.
         """
-        data = Path(path).read_bytes()
+        return cls.load_bytes(
+            Path(path).read_bytes(), source=str(path), verify=verify
+        )
+
+    @classmethod
+    def load_bytes(cls, data: bytes, source: str = "<bytes>",
+                   verify: bool = False) -> "Database":
+        """Restore a database from in-memory image bytes (:meth:`load`'s
+        engine; also deserializes :meth:`snapshot_bytes` payloads on the
+        replica side). ``source`` names the origin in error messages."""
         if not data.startswith(cls._IMAGE_MAGIC):
-            raise CorruptImageError(f"{path!s} is not an InsightNotes image")
+            raise CorruptImageError(f"{source} is not an InsightNotes image")
         offset = len(cls._IMAGE_MAGIC)
         if len(data) < offset + 2:
             raise CorruptImageError(
-                f"{path!s}: image header truncated "
+                f"{source}: image header truncated "
                 f"({len(data) - offset} of {cls._IMAGE_HEADER.size} bytes)"
             )
         (version,) = struct.unpack_from(">H", data, offset)
@@ -976,7 +1026,7 @@ class Database:
             )
         if len(data) < offset + header_struct.size:
             raise CorruptImageError(
-                f"{path!s}: image header truncated "
+                f"{source}: image header truncated "
                 f"({len(data) - offset} of {header_struct.size} bytes)"
             )
         fields = header_struct.unpack_from(data, offset)
@@ -985,19 +1035,19 @@ class Database:
         payload = data[offset + header_struct.size:]
         if len(payload) != payload_len:
             raise CorruptImageError(
-                f"{path!s}: payload truncated "
+                f"{source}: payload truncated "
                 f"({len(payload)} of {payload_len} bytes)"
             )
         if zlib.crc32(payload) & 0xFFFFFFFF != crc:
-            raise CorruptImageError(f"{path!s}: payload CRC32 mismatch")
+            raise CorruptImageError(f"{source}: payload CRC32 mismatch")
         try:
             db = pickle.loads(payload)
         except Exception as exc:
             raise CorruptImageError(
-                f"{path!s}: payload does not unpickle: {exc}"
+                f"{source}: payload does not unpickle: {exc}"
             ) from exc
         if not isinstance(db, cls):
-            raise CorruptImageError(f"{path!s} does not contain a Database")
+            raise CorruptImageError(f"{source} does not contain a Database")
         # The header's checkpoint LSN is authoritative (v2 images carry 0).
         db.checkpoint_lsn = checkpoint_lsn
         db._applied_lsn = max(db._applied_lsn, checkpoint_lsn)

@@ -198,6 +198,44 @@ class ClientTimeoutError(ReproError):
     statement executed server-side is unknown."""
 
 
+class ReplicationError(ReproError):
+    """Base class for replication-link failures: stream protocol
+    violations, bootstrap failures, a primary that no longer retains the
+    requested log range."""
+
+
+class ReplicationDivergenceError(ReplicationError):
+    """Raised when the replica detects that its applied log prefix no
+    longer matches the primary's stream — an LSN/positional mismatch or a
+    CRC failure at an offset the replica believed durable. The replica's
+    state cannot be trusted past its last verified prefix; the standard
+    response is an automatic re-bootstrap from a fresh primary snapshot."""
+
+
+class ReadOnlyReplicaError(QueryError):
+    """Raised (and sent as a typed error frame) when a mutating
+    statement — DDL, DML, annotation ops, or BEGIN — is submitted to a
+    replica. Replicas apply the primary's WAL stream only; route writes
+    to the primary (or ``promote`` the replica first)."""
+
+
+class ReplicaLaggingError(ReproError):
+    """Raised when a bounded-staleness read asked the replica to be
+    caught up through ``min_lsn`` but the replica had not applied that
+    far within the wait deadline. Carries the replica's applied LSN so
+    the client can decide to wait longer, retry elsewhere, or accept
+    staler data.
+
+    The statement was **never executed** — retrying it (here or on
+    another endpoint) is always safe."""
+
+    def __init__(self, message: str, applied_lsn: int = 0,
+                 min_lsn: int = 0):
+        super().__init__(message)
+        self.applied_lsn = applied_lsn
+        self.min_lsn = min_lsn
+
+
 class AmbiguousStatementError(ReproError):
     """Raised by :class:`~repro.server.resilient.ResilientQueryClient`
     when a connection died after a non-read-only statement was sent but

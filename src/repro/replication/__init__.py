@@ -1,0 +1,23 @@
+"""WAL-streaming replication: hot standbys over the redo log.
+
+The primary serves its WAL as a byte stream through two ops on the
+existing JSON protocol (:mod:`repro.replication.primary`); a replica
+bootstraps from a snapshot image and applies the stream through the
+recovery redo interpreter (:mod:`repro.replication.applier`), re-serving
+it read-only (:mod:`repro.replication.replica`). The link between them
+(:mod:`repro.replication.link`) polls, resumes from the last-applied LSN
+after any failure, and re-bootstraps on divergence.
+"""
+
+from repro.replication.applier import ApplyResult, WALApplier
+from repro.replication.link import ReplicationLink
+from repro.replication.primary import ReplicationEndpoint
+from repro.replication.replica import ReplicaServer
+
+__all__ = [
+    "ApplyResult",
+    "WALApplier",
+    "ReplicationLink",
+    "ReplicationEndpoint",
+    "ReplicaServer",
+]

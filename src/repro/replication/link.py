@@ -1,0 +1,305 @@
+"""The replication link: a replica's polling connection to its primary.
+
+Runs on its own thread over the blocking :class:`~repro.server.client.
+QueryClient`.  Each cycle requests WAL bytes from the applier's
+``fetch_lsn`` (which doubles as the cumulative ack) and feeds them to the
+:class:`~repro.replication.applier.WALApplier`.  The loop embodies the
+robustness contract:
+
+* **Reconnect-and-resume.**  Any transport failure — reset, stall,
+  garbled frame, primary restart — drops the connection; the link backs
+  off on the seeded :class:`~repro.resilience.RetryPolicy` schedule and
+  reconnects, rewinding the applier to its ack watermark.  The refetched
+  overlap contains only never-applied records, so resume never double
+  applies.
+* **Bootstrap / re-bootstrap.**  The first session (and any session
+  after the primary answers ``too_old`` or divergence is detected)
+  downloads a fresh snapshot image chunk-by-chunk and installs it via
+  the owner's ``install_snapshot`` callback before streaming resumes.
+* **Divergence detection.**  The WAL scan validates CRC and positional
+  LSN on every frame; bytes at the fetch point that repeatedly fail to
+  parse — while the primary reports durable data there and the window
+  cannot be short — mean the replica's log position no longer matches
+  the primary's stream.  The link raises
+  :class:`~repro.errors.ReplicationDivergenceError` and re-bootstraps
+  automatically.
+"""
+
+from __future__ import annotations
+
+import base64
+import threading
+import time
+
+from repro.errors import (
+    ClientTimeoutError,
+    ProtocolError,
+    ReplicationDivergenceError,
+    ReplicationError,
+    ReproError,
+    ServerError,
+)
+from repro.resilience import RetryPolicy
+from repro.server.client import QueryClient
+
+#: consecutive zero-progress polls (with data present and the window not
+#: the limiting factor) before the link declares divergence.
+DIVERGENCE_THRESHOLD = 3
+
+#: client-side ceiling on the poll window (matches the primary's cap).
+MAX_POLL_BYTES = 4 << 20
+
+_TRANSPORT_ERRORS = (ConnectionError, ClientTimeoutError, ProtocolError,
+                     OSError)
+
+
+class ReplicationLink:
+    """Streams a primary's WAL into a local applier, resiliently.
+
+    ``install_snapshot(image_bytes) -> lsn`` is the owner's bootstrap
+    hook: install a primary snapshot image and return its LSN (the
+    :class:`~repro.replication.replica.ReplicaServer` swaps its database
+    state in place and resets the applier).
+    """
+
+    def __init__(self, db, applier, primary_host: str, primary_port: int,
+                 replica_id: str, install_snapshot,
+                 retry: RetryPolicy | None = None,
+                 poll_interval: float = 0.02,
+                 max_bytes: int = 1 << 20,
+                 connect_timeout: float = 2.0,
+                 response_timeout: float | None = 10.0):
+        self.db = db
+        self.applier = applier
+        self.primary_host = primary_host
+        self.primary_port = primary_port
+        self.replica_id = replica_id
+        self.install_snapshot = install_snapshot
+        self.retry = retry if retry is not None else RetryPolicy(
+            max_attempts=8, base_delay=0.01, max_delay=0.5
+        )
+        self.poll_interval = poll_interval
+        self.max_bytes = max_bytes
+        self.connect_timeout = connect_timeout
+        self.response_timeout = response_timeout
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        #: observability (all also surfaced through :meth:`health`).
+        self.connected = False
+        self.bootstrapped = threading.Event()
+        self.last_error: BaseException | None = None
+        self.primary_lsn = 0
+        self.durable_lsn = 0
+        self.reconnects = 0
+        self.bootstraps = 0
+        self.divergences = 0
+        #: completed replicate polls (drives wait_caught_up freshness).
+        self.polls = 0
+        self._needs_bootstrap = True
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> "ReplicationLink":
+        self._thread = threading.Thread(
+            target=self._run, name=f"repl-link-{self.replica_id}",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def stop(self, join: bool = True) -> None:
+        self._stop.set()
+        thread = self._thread
+        if join and thread is not None and thread.is_alive():
+            thread.join(timeout=10.0)
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    def wait_for_lsn(self, lsn: int, timeout: float = 0.0) -> int:
+        return self.applier.wait_for_lsn(lsn, timeout)
+
+    def wait_caught_up(self, timeout: float = 5.0) -> bool:
+        """Block until the replica has applied everything the primary
+        reported durable at some point *after* the call (tests' barrier).
+
+        ``durable_lsn`` is only as fresh as the last poll, so requiring
+        two completed polls after entry guarantees at least one request
+        was *issued* after the call — its answer carries the primary's
+        current durable tail, covering every write acked before entry.
+        """
+        deadline = time.monotonic() + timeout
+        entry_polls = self.polls
+        while time.monotonic() < deadline:
+            if (self.bootstrapped.is_set() and self.connected
+                    and self.polls >= entry_polls + 2
+                    and self.durable_lsn
+                    and self.applier.fetch_lsn >= self.durable_lsn
+                    and self.applier.ack_lsn >= self.durable_lsn):
+                return True
+            time.sleep(0.005)
+        return False
+
+    # -- health --------------------------------------------------------------
+
+    def lag_bytes(self) -> int:
+        return max(0, self.durable_lsn - self.applier.ack_lsn)
+
+    def lag_seconds(self) -> float:
+        if self.lag_bytes() == 0:
+            return 0.0
+        return max(0.0, time.monotonic() - self.applier.last_advance)
+
+    def health(self) -> dict:
+        return {
+            "role": "replica",
+            "primary": f"{self.primary_host}:{self.primary_port}",
+            "replica_id": self.replica_id,
+            "connected": self.connected,
+            "bootstrapped": self.bootstrapped.is_set(),
+            "applied_lsn": self.applier.ack_lsn,
+            "primary_lsn": self.primary_lsn,
+            "lag_bytes": self.lag_bytes(),
+            "lag_seconds": self.lag_seconds(),
+            "reconnects": self.reconnects,
+            "bootstraps": self.bootstraps,
+            "divergences": self.divergences,
+            "last_error": (
+                str(self.last_error) if self.last_error is not None else None
+            ),
+        }
+
+    def _set_lag_gauges(self) -> None:
+        metrics = getattr(self.db, "metrics", None)
+        if metrics is not None:
+            metrics.set_gauge("repl.lag_bytes", self.lag_bytes())
+            metrics.set_gauge("repl.lag_seconds", self.lag_seconds())
+            metrics.set_gauge("repl.applied_lsn", self.applier.ack_lsn)
+            metrics.set_gauge("repl.primary_lsn", self.primary_lsn)
+
+    # -- the loop ------------------------------------------------------------
+
+    def _run(self) -> None:
+        attempt = 0
+        while not self._stop.is_set():
+            try:
+                self._session()
+                attempt = 0  # a session that ended cleanly resets backoff
+            except ReplicationDivergenceError as exc:
+                self.last_error = exc
+                self.divergences += 1
+                self._needs_bootstrap = True
+                self.db.metrics.inc("repl.divergences")
+            except (ServerError, ReplicationError,
+                    *_TRANSPORT_ERRORS) as exc:
+                self.last_error = exc
+                self.db.metrics.inc("repl.link_errors")
+            finally:
+                if self.connected:
+                    self.reconnects += 1
+                self.connected = False
+            if self._stop.is_set():
+                break
+            attempt += 1
+            # Bounded backoff, retried forever: a replica never gives up
+            # on its primary coming back.
+            delay = self.retry.delay(min(attempt, self.retry.max_attempts))
+            self._stop.wait(delay if delay > 0 else 0.001)
+
+    def _session(self) -> None:
+        """One connection's lifetime: (re)bootstrap if needed, then poll
+        until stop or failure."""
+        with QueryClient(
+            self.primary_host, self.primary_port,
+            connect_timeout=self.connect_timeout,
+            response_timeout=self.response_timeout,
+        ) as client:
+            self.connected = True
+            # Anything buffered belongs to the dead connection's parse
+            # state; resume from the applied prefix (idempotent overlap).
+            self.applier.reset_to_ack()
+            if self._needs_bootstrap:
+                self._bootstrap(client)
+            self._poll(client)
+
+    def _bootstrap(self, client: QueryClient) -> None:
+        """Download a snapshot image chunk-by-chunk and install it."""
+        chunks = bytearray()
+        offset = 0
+        while True:
+            result = client.request(
+                {"op": "replicate_snapshot", "offset": offset}
+            )
+            if result.get("offset") != offset:
+                raise ReplicationError(
+                    f"snapshot chunk at offset {result.get('offset')} "
+                    f"answered a request for {offset}"
+                )
+            chunk = base64.b64decode(result.get("data", ""))
+            chunks.extend(chunk)
+            offset += len(chunk)
+            if result.get("done"):
+                break
+            if not chunk:
+                raise ReplicationError(
+                    "primary sent an empty, non-final snapshot chunk"
+                )
+        lsn = self.install_snapshot(bytes(chunks))
+        self.bootstraps += 1
+        self._needs_bootstrap = False
+        self.bootstrapped.set()
+        self.db.metrics.inc("repl.bootstraps")
+        self.db.metrics.set_gauge("repl.applied_lsn", lsn)
+
+    def _poll(self, client: QueryClient) -> None:
+        applier = self.applier
+        no_progress = 0
+        window = self.max_bytes
+        while not self._stop.is_set():
+            result = client.request({
+                "op": "replicate",
+                "from_lsn": applier.fetch_lsn,
+                "replica_id": self.replica_id,
+                "max_bytes": window,
+            })
+            self.primary_lsn = int(result.get("next_lsn", 0))
+            self.durable_lsn = int(result.get("durable_lsn", 0))
+            if result.get("status") == "too_old":
+                # Fell off the primary's retained log (e.g. we were
+                # detached across a checkpoint): start over from a
+                # fresh snapshot on this same connection.
+                self.db.metrics.inc("repl.too_old")
+                self._needs_bootstrap = True
+                self._bootstrap(client)
+                no_progress = 0
+                continue
+            data = base64.b64decode(result.get("data", ""))
+            try:
+                res = applier.feed(data)
+            except ReproError as exc:
+                raise ReplicationDivergenceError(
+                    f"stream apply failed at LSN {applier.fetch_lsn}: {exc}"
+                ) from exc
+            if data and res.parsed_bytes == 0:
+                if len(data) >= window and window < MAX_POLL_BYTES:
+                    # The next frame is bigger than the window; grow it
+                    # rather than misread a short read as divergence.
+                    window = min(window * 2, MAX_POLL_BYTES)
+                    continue
+                no_progress += 1
+                if no_progress >= DIVERGENCE_THRESHOLD:
+                    raise ReplicationDivergenceError(
+                        f"no valid frame at LSN {applier.fetch_lsn} after "
+                        f"{no_progress} polls (primary durable through "
+                        f"{self.durable_lsn}): LSN/CRC mismatch — "
+                        "replica has diverged"
+                    )
+            else:
+                no_progress = 0
+                window = self.max_bytes
+            self.polls += 1
+            self._set_lag_gauges()
+            if applier.fetch_lsn >= self.durable_lsn:
+                # Caught up; idle until the next poll tick.
+                self._stop.wait(self.poll_interval)

@@ -60,6 +60,10 @@ class QueryClient:
         #: its full response arrived — the window in which a connection
         #: loss leaves the statement's outcome unknown.
         self.request_in_flight = False
+        #: the server's log position stamped on the last success
+        #: response (a primary's flushed WAL tail, a replica's applied
+        #: watermark); None until the first response carries one.
+        self.last_lsn: int | None = None
 
     def __enter__(self) -> "QueryClient":
         return self
@@ -75,12 +79,24 @@ class QueryClient:
 
     # -- protocol -------------------------------------------------------------
 
-    def execute(self, sql: str, timeout: float | None = None):
+    def execute(self, sql: str, timeout: float | None = None,
+                min_lsn: int | None = None,
+                min_lsn_timeout: float | None = None):
         """Run one statement; returns the JSON-shaped result value or
-        raises :class:`ServerError` mirroring the server-side failure."""
+        raises :class:`ServerError` mirroring the server-side failure.
+
+        ``min_lsn`` makes the read bounded-staleness: the server only
+        executes once it has applied through that LSN (waiting up to
+        ``min_lsn_timeout`` seconds), else answers a typed
+        ``ReplicaLaggingError`` without executing.
+        """
         request: dict = {"sql": sql}
         if timeout is not None:
             request["timeout"] = timeout
+        if min_lsn is not None:
+            request["min_lsn"] = min_lsn
+            if min_lsn_timeout is not None:
+                request["min_lsn_timeout"] = min_lsn_timeout
         return self.request(request)
 
     def health(self) -> dict:
@@ -95,6 +111,9 @@ class QueryClient:
         response = self.recv_response()
         self.request_in_flight = False
         if response.get("ok"):
+            lsn = response.get("lsn")
+            if isinstance(lsn, int):
+                self.last_lsn = lsn
             return response.get("result")
         raise ServerError(
             response.get("error", "unknown server error"),

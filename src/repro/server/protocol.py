@@ -15,14 +15,33 @@ Requests are objects::
     {"sql": "<statement>"}            required (unless "op" is given)
     {"timeout": <seconds>}            optional per-statement deadline
                                       (clamped to the server's max)
+    {"min_lsn": <int>}                bounded-staleness read: only
+                                      execute once the server has
+                                      applied through this LSN, else
+                                      answer ReplicaLaggingError
+    {"min_lsn_timeout": <seconds>}    how long a min_lsn read may wait
+                                      for the replica to catch up
     {"op": "health"}                  liveness/health probe — answered
                                       inline, never queued, even while
                                       the server drains
+    {"op": "replicate", ...}          primary-side WAL streaming (see
+                                      repro.replication.primary); also
+                                      "replicate_snapshot" (bootstrap
+                                      image chunks), "replicate_detach"
+                                      (release a stream's retention
+                                      pin), and — on replicas —
+                                      "promote" (become a writable
+                                      primary)
 
 Responses are objects with ``ok``::
 
-    {"ok": true,  "result": <value>, "elapsed_ms": <float>}
+    {"ok": true,  "result": <value>, "elapsed_ms": <float>, "lsn": <int>}
     {"ok": false, "error": "<message>", "error_type": "<ReproError class>"}
+
+The ``lsn`` on success responses is the server's log position (a
+primary's flushed WAL tail; a replica's applied watermark) — clients
+carry it forward as the ``min_lsn`` bound for read-your-writes reads
+against replicas.
 
 Result values mirror :meth:`Database.sql` returns in JSON shape: a
 SELECT becomes ``{"columns": [...], "rows": [[...]], "row_count": n}``,

@@ -30,6 +30,19 @@ Transactions are deliberately not retried across reconnects: a
 reconnect lands on a fresh server session, so an open ``BEGIN`` died
 with the old connection (the server aborts it).  Statements issued
 inside an explicit transaction are treated as non-idempotent.
+
+**Replica failover** (PR 10): the client can learn a list of read-only
+replica endpoints.  Endpoint 0 is the primary and *writes are pinned to
+it* — a dead primary surfaces typed connect/transport errors for
+writes, never a silent retry elsewhere.  Read-only autocommit
+statements rotate across the endpoint list on connect failures,
+transport failures, draining servers, and ``ReplicaLaggingError``
+answers, so reads keep flowing while the primary is down.  Every
+successful write records the server-stamped commit LSN in
+``last_commit_lsn``; with ``read_your_writes=True`` reads carry it as a
+``min_lsn`` bound, so a lagging replica either waits until it has
+applied your writes or answers a typed
+:class:`~repro.errors.ReplicaLaggingError` (and the client rotates on).
 """
 
 from __future__ import annotations
@@ -58,7 +71,17 @@ SHED_ERROR_TYPES = ("ServerOverloadedError", "ServerShuttingDownError")
 #: server-side (e.g. its checksum failed after in-flight corruption):
 #: the statement never executed, so it is as retryable as a shed — the
 #: server hangs up after answering, so the retry reconnects first.
-NEVER_EXECUTED_ERROR_TYPES = SHED_ERROR_TYPES + ("ProtocolError",)
+#: ``ReplicaLaggingError`` carries the same never-executed guarantee (a
+#: staleness-bounded read was rejected before execution).
+NEVER_EXECUTED_ERROR_TYPES = SHED_ERROR_TYPES + (
+    "ProtocolError", "ReplicaLaggingError",
+)
+
+#: Error answers that should move a read to the next endpoint before
+#: retrying: the server is going away or cannot serve this read fresh
+#: enough, and another endpoint may.
+_ROTATE_ERROR_TYPES = ("ServerShuttingDownError", "ProtocolError",
+                      "ReplicaLaggingError")
 
 #: Transport-level failures that leave an in-flight statement's
 #: outcome unknown.
@@ -78,26 +101,48 @@ class ResilientQueryClient:
     total attempts per statement (connect failures included) and its
     backoff schedule spaces reconnects.  ``in_txn`` tracking disables
     transparent retry inside explicit transactions.
+
+    ``replicas`` is a list of ``(host, port)`` read-only replica
+    endpoints; reads fail over across ``[(host, port)] + replicas``
+    while writes stay pinned to the primary.  ``read_your_writes=True``
+    attaches ``last_commit_lsn`` as a ``min_lsn`` bound on every read
+    (waiting up to ``min_lsn_timeout`` seconds server-side).
     """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 0,
+                 replicas: list[tuple[str, int]] | None = None,
                  retry: RetryPolicy | None = None,
                  connect_timeout: float = 5.0,
                  response_timeout: float | None = None,
                  max_frame: int = MAX_FRAME,
+                 read_your_writes: bool = False,
+                 min_lsn_timeout: float = 5.0,
                  sleep=time.sleep):
         self.host = host
         self.port = port
+        #: endpoint 0 is the primary (writes are pinned to it); the
+        #: rest are replicas that read-only statements may rotate to.
+        self.endpoints: list[tuple[str, int]] = [(host, port)]
+        self.endpoints.extend(tuple(r) for r in (replicas or []))
         self.retry = retry if retry is not None else RetryPolicy()
         self.connect_timeout = connect_timeout
         self.response_timeout = response_timeout
         self.max_frame = max_frame
+        self.read_your_writes = read_your_writes
+        self.min_lsn_timeout = min_lsn_timeout
         self._sleep = sleep
-        self._client: QueryClient | None = None
+        self._clients: list[QueryClient | None] = [None] * len(self.endpoints)
+        #: sticky endpoint index the next read starts from.
+        self._read_idx = 0
+        #: the LSN stamped on the last successful write through this
+        #: client — the bound ``read_your_writes`` reads carry.
+        self.last_commit_lsn = 0
         #: statements retried transparently (observability for tests).
         self.retries = 0
         #: reconnects performed (initial connect not counted).
         self.reconnects = 0
+        #: reads moved to a different endpoint (observability).
+        self.failovers = 0
         self._in_txn = False
 
     def __enter__(self) -> "ResilientQueryClient":
@@ -107,55 +152,95 @@ class ResilientQueryClient:
         self.close()
 
     def close(self) -> None:
-        if self._client is not None:
-            self._client.close()
-            self._client = None
+        for idx, client in enumerate(self._clients):
+            if client is not None:
+                client.close()
+                self._clients[idx] = None
+
+    def add_replica(self, host: str, port: int) -> None:
+        """Learn another read-only replica endpoint at runtime."""
+        self.endpoints.append((host, port))
+        self._clients.append(None)
 
     # -- connection management -----------------------------------------------
 
-    def _connect(self) -> QueryClient:
-        if self._client is None:
-            self._client = QueryClient(
-                self.host, self.port,
+    @property
+    def _client(self) -> QueryClient | None:
+        """The primary connection (endpoint 0) — kept as an attribute-
+        style alias because tests and callers predating replica
+        failover reach for it."""
+        return self._clients[0]
+
+    @_client.setter
+    def _client(self, value: QueryClient | None) -> None:
+        self._clients[0] = value
+
+    def _connect(self, idx: int = 0) -> QueryClient:
+        if self._clients[idx] is None:
+            host, port = self.endpoints[idx]
+            self._clients[idx] = QueryClient(
+                host, port,
                 connect_timeout=self.connect_timeout,
                 response_timeout=self.response_timeout,
                 max_frame=self.max_frame,
             )
-        return self._client
+        return self._clients[idx]
 
-    def _drop_connection(self) -> None:
-        if self._client is not None:
-            self._client.close()
-            self._client = None
+    def _drop_connection(self, idx: int) -> None:
+        if self._clients[idx] is not None:
+            self._clients[idx].close()
+            self._clients[idx] = None
             self.reconnects += 1
-        # A dead connection killed any server-side transaction with it.
-        self._in_txn = False
+        if idx == 0:
+            # A dead primary connection killed any server-side
+            # transaction with it.
+            self._in_txn = False
 
     # -- execution ------------------------------------------------------------
 
     def execute(self, sql: str, timeout: float | None = None):
         """Run one statement with transparent, outcome-safe retries."""
+        read = is_read_only(sql) and not self._in_txn
+        extra: dict = {}
+        if read and self.read_your_writes and self.last_commit_lsn:
+            extra = {"min_lsn": self.last_commit_lsn,
+                     "min_lsn_timeout": self.min_lsn_timeout}
         return self._request_with_retry(
-            sql, lambda client: client.execute(sql, timeout=timeout)
+            sql,
+            lambda client: client.execute(sql, timeout=timeout, **extra),
+            rotate=read,
         )
 
     def health(self) -> dict:
-        """Fetch the server's health snapshot (always safe to retry)."""
+        """Fetch the server's health snapshot (always safe to retry;
+        fails over across endpoints like a read)."""
         return self._request_with_retry(
-            "select", lambda client: client.health()
+            "select", lambda client: client.health(), rotate=True
         )
 
-    def _request_with_retry(self, sql: str, send):
+    def _next_endpoint(self, idx: int) -> int:
+        if len(self.endpoints) > 1:
+            self.failovers += 1
+        return (idx + 1) % len(self.endpoints)
+
+    def _request_with_retry(self, sql: str, send, rotate: bool = False):
         stripped = sql.strip().lower()
+        # Writes (and anything transactional) are pinned to the primary;
+        # reads start from the sticky endpoint and rotate on failure.
+        idx = self._read_idx if rotate else 0
+        if idx >= len(self.endpoints):  # endpoints shrank? be safe
+            idx = 0
         attempt = 0
         last_error: BaseException | None = None
         while attempt < self.retry.max_attempts:
             attempt += 1
             try:
-                client = self._connect()
+                client = self._connect(idx)
             except OSError as exc:
                 # Nothing was ever sent: connect failures always retry.
                 last_error = exc
+                if rotate:
+                    idx = self._next_endpoint(idx)
                 self._backoff(attempt)
                 continue
             try:
@@ -163,18 +248,22 @@ class ResilientQueryClient:
             except ServerError as exc:
                 if (exc.error_type in NEVER_EXECUTED_ERROR_TYPES
                         and not self._in_txn):
-                    # Shed (or never even decoded) before execution:
-                    # safe to re-offer, even a write — but not inside
-                    # an explicit transaction (the reconnect would land
-                    # on a fresh session), so only autocommit
-                    # statements ride through.
+                    # Shed (or never even decoded / rejected as too
+                    # stale) before execution: safe to re-offer, even a
+                    # write — but not inside an explicit transaction
+                    # (the reconnect would land on a fresh session), so
+                    # only autocommit statements ride through.
                     last_error = exc
                     self.retries += 1
                     if exc.error_type != "ServerOverloadedError":
                         # Draining servers and framing breaches drop
                         # the connection with the answer; reconnect
-                        # before retrying.
-                        self._drop_connection()
+                        # before retrying. (A lagging replica keeps the
+                        # connection, but the read moves on anyway.)
+                        if exc.error_type != "ReplicaLaggingError":
+                            self._drop_connection(idx)
+                        if rotate and exc.error_type in _ROTATE_ERROR_TYPES:
+                            idx = self._next_endpoint(idx)
                     self._backoff(attempt)
                     continue
                 if exc.error_type in ("LockTimeoutError",
@@ -185,7 +274,7 @@ class ResilientQueryClient:
             except _TRANSPORT_ERRORS as exc:
                 in_flight = client.request_in_flight
                 was_in_txn = self._in_txn
-                self._drop_connection()
+                self._drop_connection(idx)
                 last_error = exc
                 if in_flight and (was_in_txn or not is_read_only(sql)):
                     raise AmbiguousStatementError(
@@ -196,9 +285,19 @@ class ResilientQueryClient:
                         cause=exc,
                     ) from exc
                 self.retries += 1
+                if rotate:
+                    idx = self._next_endpoint(idx)
                 self._backoff(attempt)
                 continue
-            self._track_txn(stripped)
+            if rotate:
+                self._read_idx = idx
+            else:
+                self._track_txn(stripped)
+                lsn = getattr(client, "last_lsn", None)
+                if lsn is not None and not self._in_txn:
+                    # Autocommit write or COMMIT: the response LSN
+                    # covers everything this client has written.
+                    self.last_commit_lsn = max(self.last_commit_lsn, lsn)
             return result
         raise last_error if last_error is not None else RuntimeError(
             "retry budget exhausted with no recorded error"

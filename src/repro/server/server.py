@@ -58,7 +58,7 @@ import signal
 import time
 from concurrent.futures import ThreadPoolExecutor
 
-from repro.errors import ProtocolError, ReproError
+from repro.errors import ProtocolError, ReplicaLaggingError, ReproError
 from repro.faults.network import NetworkFaultKind, NETWORK_OPS
 from repro.server.protocol import (
     LENGTH,
@@ -99,14 +99,16 @@ def _env_number(name: str, default, cast):
 
 class _Conn:
     """Per-connection server state: the session, its transport, and
-    whether a statement is currently on a worker thread."""
+    whether a statement is currently on a worker thread. ``snapshot``
+    caches a replication bootstrap image while its chunks stream out."""
 
-    __slots__ = ("session", "writer", "busy")
+    __slots__ = ("session", "writer", "busy", "snapshot")
 
     def __init__(self, session, writer):
         self.session = session
         self.writer = writer
         self.busy = False
+        self.snapshot = None
 
 
 def _error_response(message: str, error_type: str) -> dict:
@@ -183,6 +185,21 @@ class QueryServer:
         self._connections: set[_Conn] = set()
         self._queued = 0
         self._net_ops = {op: 0 for op in NETWORK_OPS}
+        #: registered non-SQL op handlers: name -> handler(request, conn).
+        #: Handlers run on the worker pool (outside the admission queue —
+        #: they are infrastructure, not statements); return the result
+        #: value, or raise a ReproError for a typed error frame.
+        self.ops: dict = {}
+        #: replica-side replication link (set by ReplicaServer) — drives
+        #: the health frame's repl section and min_lsn waits.
+        self.repl_link = None
+        #: primary-side replication endpoint once installed.
+        self.repl_endpoint = None
+
+    def register_op(self, name: str, handler) -> None:
+        """Register an op handler: ``{"op": name, ...}`` requests route
+        to ``handler(request, conn)`` on the worker pool."""
+        self.ops[name] = handler
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -273,6 +290,8 @@ class QueryServer:
         txn_manager = getattr(db, "txn_manager", None)
         path_health = getattr(db, "health", None)
         return {
+            "lsn": self._current_lsn(),
+            "repl": self._repl_health(),
             "status": "draining" if self.draining else "ok",
             "draining": self.draining,
             "accepting": self._server is not None and not self.draining,
@@ -293,6 +312,53 @@ class QueryServer:
             "maint_backlog": db.manager.pending_count(),
             "maint_lag_seconds": db.manager.pending_lag_seconds(),
         }
+
+    def _current_lsn(self) -> int:
+        """This node's durable log position: the flushed WAL tail on a
+        primary, the applied-prefix watermark on a replica. Stamped into
+        every success response so clients can carry their last commit
+        LSN into bounded-staleness reads."""
+        wal = getattr(self.db, "wal", None)
+        if wal is not None:
+            return wal.flushed_lsn
+        return getattr(self.db, "_applied_lsn", 0)
+
+    def _repl_health(self) -> dict:
+        """The health frame's repl section: replica lag when a link is
+        attached, stream/retention state when this node is a primary."""
+        link = self.repl_link
+        if link is not None:
+            return link.health()
+        wal = getattr(self.db, "wal", None)
+        if wal is not None:
+            return {
+                "role": "primary",
+                "wal_lsn": wal.next_lsn,
+                "durable_lsn": wal.flushed_lsn,
+                "streams": wal.stream_acks,
+                "min_stream_lsn": wal.min_stream_lsn(),
+                "retained_bytes": wal.retained_bytes,
+            }
+        return {"role": "standalone"}
+
+    def _await_min_lsn(self, min_lsn: int, wait_timeout: float) -> None:
+        """Bounded-staleness gate (runs on the worker thread): block
+        until this node has applied through ``min_lsn``, else raise a
+        typed ReplicaLaggingError — the statement never executes."""
+        current = self._current_lsn()
+        if current >= min_lsn:
+            return
+        link = self.repl_link
+        if link is not None and wait_timeout > 0:
+            current = link.wait_for_lsn(min_lsn, wait_timeout)
+            if current >= min_lsn:
+                return
+        self.db.metrics.inc("repl.lagging_rejects")
+        raise ReplicaLaggingError(
+            f"applied through LSN {current}, statement requires "
+            f"{min_lsn}",
+            applied_lsn=current, min_lsn=min_lsn,
+        )
 
     # -- network fault injection ---------------------------------------------
 
@@ -447,6 +513,10 @@ class QueryServer:
                 # balancers can always see the server's state.
                 self.db.metrics.inc("server.health_requests")
                 return {"ok": True, "result": self.health()}, buffer, True
+            handler = self.ops.get(op)
+            if handler is not None:
+                return await self._run_op(conn, op, handler, request,
+                                          buffer)
             self.db.metrics.inc("server.errors")
             return (
                 _error_response(f"unknown op {op!r}", "ProtocolError"),
@@ -465,6 +535,26 @@ class QueryServer:
             self.db.metrics.inc("server.errors")
             return (
                 _error_response("'timeout' must be a number",
+                                "ProtocolError"),
+                buffer, True,
+            )
+        min_lsn = request.get("min_lsn")
+        if min_lsn is not None and (
+            not isinstance(min_lsn, int) or isinstance(min_lsn, bool)
+            or min_lsn < 0
+        ):
+            self.db.metrics.inc("server.errors")
+            return (
+                _error_response("'min_lsn' must be a non-negative integer",
+                                "ProtocolError"),
+                buffer, True,
+            )
+        min_lsn_timeout = request.get("min_lsn_timeout", 0)
+        if not isinstance(min_lsn_timeout, (int, float)) \
+                or isinstance(min_lsn_timeout, bool):
+            self.db.metrics.inc("server.errors")
+            return (
+                _error_response("'min_lsn_timeout' must be a number",
                                 "ProtocolError"),
                 buffer, True,
             )
@@ -511,21 +601,57 @@ class QueryServer:
         conn.busy = True
         try:
             return await self._run_on_worker(conn, reader, sql, timeout,
-                                             buffer)
+                                             buffer, min_lsn,
+                                             float(min_lsn_timeout))
         finally:
             conn.busy = False
             self._worker_slots.release()
 
+    async def _run_op(self, conn: _Conn, op: str, handler, request: dict,
+                      buffer: bytes):
+        """Run a registered op handler on the worker pool (outside the
+        admission queue — ops are infrastructure, not statements)."""
+        self.db.metrics.inc(f"server.ops.{op}")
+        loop = asyncio.get_running_loop()
+        try:
+            result = await loop.run_in_executor(
+                self._executor, handler, request, conn
+            )
+        except ReproError as exc:
+            self.db.metrics.inc("server.errors")
+            return (
+                _error_response(str(exc), type(exc).__name__),
+                buffer, True,
+            )
+        except Exception as exc:  # never let a handler kill the server
+            self.db.metrics.inc("server.errors")
+            return (
+                _error_response(f"op {op!r} failed: {exc}", "ServerError"),
+                buffer, True,
+            )
+        return (
+            {"ok": True, "result": result, "lsn": self._current_lsn()},
+            buffer, True,
+        )
+
     async def _run_on_worker(self, conn: _Conn, reader, sql: str,
-                             timeout: float | None, buffer: bytes):
+                             timeout: float | None, buffer: bytes,
+                             min_lsn: int | None = None,
+                             min_lsn_timeout: float = 0.0):
         """The statement is admitted: run it on the pool, watching the
         socket for a mid-statement hangup."""
         session = conn.session
         loop = asyncio.get_running_loop()
         started = time.perf_counter()
-        stmt_future = loop.run_in_executor(
-            self._executor, session.execute, sql, timeout
-        )
+
+        def _call():
+            # The bounded-staleness gate waits (or raises) on the worker
+            # thread, so the event loop never blocks on replication lag.
+            if min_lsn:
+                self._await_min_lsn(min_lsn, min_lsn_timeout)
+            return session.execute(sql, timeout)
+
+        stmt_future = loop.run_in_executor(self._executor, _call)
         peek = asyncio.ensure_future(reader.read(1))
         disconnected = False
         try:
@@ -586,7 +712,8 @@ class QueryServer:
             )
         return (
             {"ok": True, "result": payload,
-             "elapsed_ms": round(elapsed_ms, 3)},
+             "elapsed_ms": round(elapsed_ms, 3),
+             "lsn": self._current_lsn()},
             buffer, True,
         )
 
@@ -712,6 +839,12 @@ async def serve(db, host: str = "127.0.0.1", port: int = 0,
     """Convenience runner: start a server, serve until SIGTERM/SIGINT
     (or cancellation), then gracefully drain."""
     server = QueryServer(db, host=host, port=port, workers=workers, **kwargs)
+    if getattr(db, "wal", None) is not None:
+        # A WAL-backed database served standalone is a replication-
+        # capable primary: replicas may attach at any time.
+        from repro.replication.primary import ReplicationEndpoint
+
+        ReplicationEndpoint(server).install()
     await server.start()
     print(f"repro server listening on {server.host}:{server.port}",
           flush=True)

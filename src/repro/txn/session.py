@@ -35,7 +35,11 @@ from __future__ import annotations
 from itertools import count
 
 from repro.annotations.annotation import AnnotationTarget
-from repro.errors import LockTimeoutError, TransactionError
+from repro.errors import (
+    LockTimeoutError,
+    ReadOnlyReplicaError,
+    TransactionError,
+)
 from repro.query.ast import (
     AbortStmt,
     AlterTableSummary,
@@ -154,8 +158,23 @@ class Session:
 
     # -- dispatch ------------------------------------------------------------
 
+    #: statement classes a read-only replica rejects up front. BEGIN is
+    #: included so a would-be writer fails fast instead of buffering DML
+    #: that could only ever die at COMMIT.
+    _MUTATING_STMTS = (
+        BeginStmt, CreateTableStmt, AlterTableSummary, InsertStmt,
+        UpdateStmt, DeleteStmt, AnnotateStmt,
+    )
+
     def _run_stmt(self, stmt):
         db = self.db
+        if getattr(db, "read_only", False) and isinstance(
+            stmt, self._MUTATING_STMTS
+        ):
+            raise ReadOnlyReplicaError(
+                "replica is read-only: route writes to the primary, "
+                "or promote this replica first"
+            )
         if isinstance(stmt, BeginStmt):
             return self._begin()
         if isinstance(stmt, CommitStmt):

@@ -25,6 +25,15 @@ class WALWriter:
         self._next_lsn = device.base_lsn + device.total_len
         #: LSN up to which the log is durable (device sync position).
         self._flushed_lsn = device.base_lsn + device.durable_len
+        #: Attached replication streams: stream id -> cumulatively acked
+        #: LSN. A registered stream pins log retention (see
+        #: :meth:`truncate`) until it acks past the checkpoint or
+        #: detaches.
+        self._streams: dict[str, int] = {}
+        #: Log segments retained past checkpoint for slow streams, as
+        #: ``(base_lsn, data)`` in ascending, contiguous LSN order. The
+        #: live device's durable bytes always follow the last segment.
+        self._segments: list[tuple[int, bytes]] = []
 
     @property
     def next_lsn(self) -> int:
@@ -87,12 +96,114 @@ class WALWriter:
         ``new_base`` must be at the current append position — checkpoints
         truncate the *whole* log after the image rename lands, so the new
         base is exactly ``next_lsn``.
+
+        If a replication stream is attached whose acked LSN trails
+        ``new_base``, the durable bytes are *retained* as an in-memory
+        segment instead of discarded, so a slow replica never falls off
+        the log: :meth:`read_stream` keeps serving the retained range
+        until every stream acks past it (or detaches).
         """
         if new_base != self._next_lsn:
             raise WALError(
                 f"checkpoint truncation must land at next_lsn="
                 f"{self._next_lsn}, not {new_base}"
             )
+        min_acked = self.min_stream_lsn()
+        if min_acked is not None and min_acked < new_base:
+            data = self.device.durable()
+            if data:
+                self._segments.append((self.device.base_lsn, data))
         self.device.truncate(new_base)
         self._flushed_lsn = new_base
         self._inc("wal.truncations")
+        self._gc_segments()
+
+    # -- replication streams -------------------------------------------------
+
+    def register_stream(self, stream_id: str, from_lsn: int) -> None:
+        """Attach a replication stream whose next needed byte is
+        ``from_lsn``. Registration is sticky across link failures — the
+        stream keeps pinning retention until :meth:`unregister_stream`."""
+        self._streams[stream_id] = from_lsn
+        self._set_stream_gauges()
+
+    def ack_stream(self, stream_id: str, lsn: int) -> None:
+        """Advance a stream's cumulative ack (monotonic); frees retained
+        segments every stream has consumed."""
+        current = self._streams.get(stream_id)
+        if current is None or lsn > current:
+            self._streams[stream_id] = lsn
+        self._gc_segments()
+
+    def unregister_stream(self, stream_id: str) -> None:
+        self._streams.pop(stream_id, None)
+        self._gc_segments()
+
+    def min_stream_lsn(self) -> int | None:
+        """The lowest acked LSN across attached streams (None if none)."""
+        if not self._streams:
+            return None
+        return min(self._streams.values())
+
+    @property
+    def stream_acks(self) -> dict[str, int]:
+        return dict(self._streams)
+
+    @property
+    def retained_base(self) -> int:
+        """The lowest LSN still readable via :meth:`read_stream`."""
+        if self._segments:
+            return self._segments[0][0]
+        return self.device.base_lsn
+
+    @property
+    def retained_bytes(self) -> int:
+        return sum(len(data) for _, data in self._segments)
+
+    def _gc_segments(self) -> None:
+        min_acked = self.min_stream_lsn()
+        if min_acked is None:
+            self._segments.clear()
+        else:
+            while self._segments:
+                base, data = self._segments[0]
+                if base + len(data) <= min_acked:
+                    self._segments.pop(0)
+                else:
+                    break
+        self._set_stream_gauges()
+
+    def _set_stream_gauges(self) -> None:
+        if self.metrics is not None:
+            self.metrics.set_gauge("wal.streams", len(self._streams))
+            self.metrics.set_gauge(
+                "wal.retained_bytes", self.retained_bytes
+            )
+
+    def read_stream(self, from_lsn: int, max_bytes: int) -> tuple[bytes, str]:
+        """Read up to ``max_bytes`` of durable log starting at ``from_lsn``.
+
+        Returns ``(data, status)`` where status is ``"ok"`` or
+        ``"too_old"`` (the requested range predates everything retained —
+        the reader must re-bootstrap from a fresh snapshot). Only durable
+        bytes are served; the slice may end mid-frame, which readers
+        handle via the torn-tail scan contract.
+        """
+        if from_lsn < self.retained_base:
+            return b"", "too_old"
+        if from_lsn >= self._flushed_lsn:
+            return b"", "ok"
+        end = min(from_lsn + max_bytes, self._flushed_lsn)
+        out = bytearray()
+        pieces = list(self._segments)
+        pieces.append((self.device.base_lsn, self.device.durable()))
+        for base, data in pieces:
+            piece_end = base + len(data)
+            lo = max(from_lsn + len(out), base)
+            if lo >= end:
+                break
+            if lo >= piece_end:
+                continue
+            hi = min(end, piece_end)
+            out.extend(data[lo - base:hi - base])
+        return bytes(out), "ok"

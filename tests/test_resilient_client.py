@@ -84,7 +84,7 @@ def make_client(script: list, max_attempts: int = 4,
                           **retry_kwargs),
         sleep=sleeps.append,
     )
-    client._connect = lambda: stub  # type: ignore[method-assign]
+    client._connect = lambda idx=0: stub  # type: ignore[method-assign]
     # _drop_connection still clears state; give it a closeable target.
     client._client = stub
     return client, stub, sleeps
@@ -172,7 +172,7 @@ class TestClassificationMatrix:
             sleep=sleeps.append,
         )
 
-        def flaky_connect():
+        def flaky_connect(idx=0):
             attempts["n"] += 1
             if attempts["n"] < 3:
                 raise ConnectionRefusedError("not up yet")

@@ -60,6 +60,9 @@ class ServerHarness:
         return self.server.port
 
     def stop(self):
+        if getattr(self, "_stopped", False):
+            return  # failover tests kill the primary before teardown
+        self._stopped = True
         asyncio.run_coroutine_threadsafe(
             self.server.stop(), self.loop
         ).result(10)
